@@ -1,0 +1,41 @@
+// Ablation: hot-spot (skewed) workloads. The paper draws starts uniformly
+// within the stripe; real workloads concentrate on hot data. Skewing the
+// start distribution concentrates I/O on a few columns — parity
+// distribution then matters even more, and the horizontal codes' LF
+// degrades further while D-Code's stays near 1 (its parity *groups* are
+// spread even when the data accesses are not).
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/experiments.h"
+
+using namespace dcode;
+using namespace dcode::bench;
+
+int main() {
+  print_header("Ablation: start-address skew (mixed workload, p=13)",
+               "skew 1.0 = the paper's uniform draw; higher = hotter "
+               "hot spot at low addresses.");
+
+  TablePrinter table({"code", "skew=1.0", "skew=2.0", "skew=4.0",
+                      "skew=8.0"});
+  for (const auto& name : codes::paper_comparison_codes()) {
+    auto layout = codes::make_layout(name, 13);
+    std::vector<std::string> row = {name};
+    for (double skew : {1.0, 2.0, 4.0, 8.0}) {
+      sim::WorkloadParams params;
+      params.operations = 2000;
+      params.seed = 0x5EED;
+      params.skew = skew;
+      auto res = sim::run_load_experiment(*layout, sim::WorkloadKind::kMixed,
+                                          params);
+      row.push_back(format_lf(res.load_balancing_factor));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nCheck: the vertical codes degrade gracefully (hot data "
+               "still implies hot columns), while rdp's parity disks "
+               "amplify the skew several-fold.\n";
+  return 0;
+}

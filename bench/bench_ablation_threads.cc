@@ -1,0 +1,68 @@
+// Ablation: thread scaling of array-wide operations (stripe-parallel
+// rebuild and scrub on the byte-level Raid6Array). Stripes are
+// independent, so rebuild should scale until memory bandwidth saturates.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+using namespace dcode;
+
+namespace {
+
+constexpr size_t kElement = 16 * 1024;
+constexpr int64_t kStripes = 64;
+
+void BM_RebuildTwoDisks(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  Pcg32 rng(1);
+  std::vector<uint8_t> blob;
+  for (auto _ : state) {
+    state.PauseTiming();
+    raid::Raid6Array array(codes::make_layout("dcode", 13), kElement,
+                           kStripes, threads);
+    if (blob.empty()) {
+      blob.resize(static_cast<size_t>(array.capacity()));
+      rng.fill_bytes(blob.data(), blob.size());
+    }
+    array.write(0, blob);
+    array.fail_disk(2);
+    array.fail_disk(9);
+    array.replace_disk(2);
+    array.replace_disk(9);
+    state.ResumeTiming();
+    array.rebuild();
+    benchmark::DoNotOptimize(array.disk(2).raw());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 * 13 *
+                          kStripes * static_cast<int64_t>(kElement));
+}
+
+void BM_Scrub(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  Pcg32 rng(2);
+  raid::Raid6Array array(codes::make_layout("dcode", 13), kElement, kStripes,
+                         threads);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.scrub());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 13 * 13 *
+                          kStripes * static_cast<int64_t>(kElement));
+}
+
+}  // namespace
+
+// UseRealTime: the work happens on pool threads, so CPU time of the
+// driving thread is meaningless here.
+BENCHMARK(BM_RebuildTwoDisks)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_Scrub)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+BENCHMARK_MAIN();

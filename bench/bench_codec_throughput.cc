@@ -1,0 +1,164 @@
+// Raw encode/decode throughput of every codec in the library: the six
+// XOR array codes, the matrix Reed–Solomon codecs (Cauchy and
+// Vandermonde generators), the bitmatrix Cauchy-RS, and the classic
+// RAID-6 P/Q — the role Jerasure 1.2 plays in the paper's testbed.
+//
+// Expected shape: XOR array codes and P/Q's P side run at memory
+// bandwidth; GF(256) multiply codecs are several times slower; Cauchy-RS
+// with the smart schedule sits between.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "codes/dcode_decoder.h"
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/registry.h"
+#include "rs/cauchy_rs.h"
+#include "rs/reed_solomon.h"
+#include "util/rng.h"
+
+using namespace dcode;
+
+namespace {
+
+constexpr size_t kElement = 64 * 1024;
+
+void BM_ArrayEncode(benchmark::State& state, const std::string& name) {
+  const int p = static_cast<int>(state.range(0));
+  auto layout = codes::make_layout(name, p);
+  Pcg32 rng(1);
+  codes::Stripe stripe(*layout, kElement);
+  stripe.randomize_data(rng);
+  for (auto _ : state) {
+    codes::encode_stripe(stripe);
+    benchmark::DoNotOptimize(stripe.disk(0));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          layout->data_count() *
+                          static_cast<int64_t>(kElement));
+}
+
+void BM_ArrayDecodeTwoDisks(benchmark::State& state, const std::string& name) {
+  const int p = static_cast<int>(state.range(0));
+  auto layout = codes::make_layout(name, p);
+  Pcg32 rng(2);
+  codes::Stripe stripe(*layout, kElement);
+  stripe.randomize_data(rng);
+  codes::encode_stripe(stripe);
+  int fd[2] = {0, p / 2};
+  auto lost = codes::elements_of_disks(*layout, fd);
+  for (auto _ : state) {
+    state.PauseTiming();
+    codes::Stripe broken = stripe.clone();
+    broken.erase_disk(fd[0]);
+    broken.erase_disk(fd[1]);
+    state.ResumeTiming();
+    auto res = name == "dcode"
+                   ? [&] {
+                       auto r = codes::dcode_decode_two_disks(broken, fd[0],
+                                                              fd[1]);
+                       codes::DecodeResult out;
+                       out.success = r.success;
+                       out.xor_ops = r.xor_ops;
+                       return out;
+                     }()
+                   : codes::hybrid_decode(broken, lost);
+    benchmark::DoNotOptimize(res.success);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lost.size()) *
+                          static_cast<int64_t>(kElement));
+}
+
+void BM_RsEncode(benchmark::State& state, rs::GeneratorKind kind) {
+  const int k = static_cast<int>(state.range(0));
+  rs::RsCodec codec(k, 2, 8, kind);
+  Pcg32 rng(3);
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k),
+                                         std::vector<uint8_t>(kElement));
+  std::vector<std::vector<uint8_t>> coding(2,
+                                           std::vector<uint8_t>(kElement));
+  for (auto& d : data) rng.fill_bytes(d.data(), d.size());
+  std::vector<const uint8_t*> dp;
+  std::vector<uint8_t*> cp;
+  for (auto& d : data) dp.push_back(d.data());
+  for (auto& c : coding) cp.push_back(c.data());
+  for (auto _ : state) {
+    codec.encode(dp, cp, kElement);
+    benchmark::DoNotOptimize(coding[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          static_cast<int64_t>(kElement));
+}
+
+void BM_CauchyRsEncode(benchmark::State& state, bool smart) {
+  const int k = static_cast<int>(state.range(0));
+  rs::CauchyRsCodec codec(k, 2, 8, smart);
+  Pcg32 rng(4);
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k),
+                                         std::vector<uint8_t>(kElement));
+  std::vector<std::vector<uint8_t>> coding(2,
+                                           std::vector<uint8_t>(kElement));
+  for (auto& d : data) rng.fill_bytes(d.data(), d.size());
+  std::vector<const uint8_t*> dp;
+  std::vector<uint8_t*> cp;
+  for (auto& d : data) dp.push_back(d.data());
+  for (auto& c : coding) cp.push_back(c.data());
+  for (auto _ : state) {
+    codec.encode(dp, cp, kElement);
+    benchmark::DoNotOptimize(coding[0].data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          static_cast<int64_t>(kElement));
+}
+
+void BM_Raid6PqEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  rs::Raid6PqCodec codec(k);
+  Pcg32 rng(5);
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k),
+                                         std::vector<uint8_t>(kElement));
+  std::vector<uint8_t> pbuf(kElement), qbuf(kElement);
+  for (auto& d : data) rng.fill_bytes(d.data(), d.size());
+  std::vector<const uint8_t*> dp;
+  for (auto& d : data) dp.push_back(d.data());
+  for (auto _ : state) {
+    codec.encode(dp, pbuf.data(), qbuf.data(), kElement);
+    benchmark::DoNotOptimize(pbuf.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k *
+                          static_cast<int64_t>(kElement));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ArrayEncode, dcode, std::string("dcode"))
+    ->Arg(7)->Arg(13)->Arg(17);
+BENCHMARK_CAPTURE(BM_ArrayEncode, xcode, std::string("xcode"))
+    ->Arg(7)->Arg(13)->Arg(17);
+BENCHMARK_CAPTURE(BM_ArrayEncode, rdp, std::string("rdp"))->Arg(7)->Arg(13);
+BENCHMARK_CAPTURE(BM_ArrayEncode, evenodd, std::string("evenodd"))
+    ->Arg(7)->Arg(13);
+BENCHMARK_CAPTURE(BM_ArrayEncode, hcode, std::string("hcode"))
+    ->Arg(7)->Arg(13);
+BENCHMARK_CAPTURE(BM_ArrayEncode, hdp, std::string("hdp"))->Arg(7)->Arg(13);
+
+BENCHMARK_CAPTURE(BM_ArrayDecodeTwoDisks, dcode, std::string("dcode"))
+    ->Arg(7)->Arg(13);
+BENCHMARK_CAPTURE(BM_ArrayDecodeTwoDisks, xcode, std::string("xcode"))
+    ->Arg(7)->Arg(13);
+BENCHMARK_CAPTURE(BM_ArrayDecodeTwoDisks, rdp, std::string("rdp"))
+    ->Arg(7)->Arg(13);
+
+BENCHMARK_CAPTURE(BM_RsEncode, cauchy_gf256, rs::GeneratorKind::kCauchy)
+    ->Arg(5)->Arg(11);
+BENCHMARK_CAPTURE(BM_RsEncode, vandermonde_gf256,
+                  rs::GeneratorKind::kVandermonde)
+    ->Arg(5)->Arg(11);
+BENCHMARK_CAPTURE(BM_CauchyRsEncode, smart_schedule, true)->Arg(5)->Arg(11);
+BENCHMARK_CAPTURE(BM_CauchyRsEncode, dumb_schedule, false)->Arg(5)->Arg(11);
+BENCHMARK(BM_Raid6PqEncode)->Arg(5)->Arg(11);
+
+BENCHMARK_MAIN();

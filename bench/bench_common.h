@@ -1,0 +1,32 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "codes/registry.h"
+#include "util/table.h"
+
+namespace dcode::bench {
+
+// The paper's sweep (Figures 4-7): p in {5, 7, 11, 13}.
+inline const std::vector<int>& paper_primes() {
+  static const std::vector<int> primes = {5, 7, 11, 13};
+  return primes;
+}
+
+// Figure 4 clamps infinity at 30; we print the same convention.
+inline std::string format_lf(double lf) {
+  if (std::isinf(lf)) return "inf(>30)";
+  return format_double(lf, 2);
+}
+
+inline void print_header(const std::string& title, const std::string& note) {
+  std::cout << "\n== " << title << " ==\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "\n";
+}
+
+}  // namespace dcode::bench

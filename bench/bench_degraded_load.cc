@@ -1,0 +1,85 @@
+// Extension experiment: I/O loads in DEGRADED mode. The paper's Figure
+// 4/5 run healthy arrays; here the same mixed workload runs with one data
+// disk failed (reads reconstruct through the planner's chains, writes use
+// the stripe-rewrite policy), averaged over every failure case.
+//
+// Expected shape: degraded cost is dominated by reconstruction reads, so
+// the codes whose continuous elements share parities (D-Code, RDP,
+// H-Code) stay cheapest, and the LF of the horizontal codes *improves*
+// (their idle parity disks finally serve reconstruction reads) while
+// remaining worse than the verticals'.
+#include "bench_common.h"
+#include "raid/planner.h"
+#include "sim/io_stats.h"
+#include "sim/workload.h"
+#include "util/stats.h"
+
+using namespace dcode;
+using namespace dcode::bench;
+
+int main() {
+  print_header("Extension: degraded-mode I/O loads (mixed 1:1, p=11)",
+               "one data disk failed, averaged over every failure case; "
+               "500 ops per case.");
+
+  TablePrinter table({"code", "LF-healthy", "LF-degraded", "cost-healthy",
+                      "cost-degraded", "penalty"});
+  for (const auto& name : codes::paper_comparison_codes()) {
+    auto layout = codes::make_layout(name, 11);
+    raid::AddressMap map(*layout);
+    raid::IoPlanner planner(map);
+
+    sim::WorkloadParams params;
+    params.operations = 500;
+    params.start_space = layout->data_count();
+    params.seed = 0xDE62;
+    auto ops = sim::generate_workload(sim::WorkloadKind::kMixed, params);
+
+    // Healthy baseline.
+    sim::IoStats healthy(layout->cols());
+    for (const auto& op : ops) {
+      auto plan = op.is_write ? planner.plan_write(op.start, op.len)
+                              : planner.plan_read(op.start, op.len);
+      healthy.accumulate(plan, op.times);
+    }
+
+    // Degraded, averaged over data-hosting failure cases.
+    Accumulator lf_acc, cost_acc;
+    for (int f = 0; f < layout->cols(); ++f) {
+      if (layout->parity_elements_on_disk(f) == layout->rows()) continue;
+      int fd[1] = {f};
+      sim::IoStats stats(layout->cols());
+      for (const auto& op : ops) {
+        auto plan = op.is_write
+                        ? planner.plan_degraded_write(op.start, op.len, fd)
+                        : planner.plan_degraded_read(op.start, op.len, fd);
+        stats.accumulate(plan, op.times);
+      }
+      // LF over the surviving disks only (the failed one serves nothing).
+      int64_t lmax = 0, lmin = INT64_MAX;
+      for (int d = 0; d < layout->cols(); ++d) {
+        if (d == f) continue;
+        lmax = std::max(lmax, stats.accesses(d));
+        lmin = std::min(lmin, stats.accesses(d));
+      }
+      lf_acc.add(lmin > 0 ? static_cast<double>(lmax) /
+                                static_cast<double>(lmin)
+                          : 1e9);
+      cost_acc.add(static_cast<double>(stats.total()));
+    }
+
+    double penalty = cost_acc.mean() / static_cast<double>(healthy.total());
+    table.add_row({name, format_lf(healthy.load_balancing_factor()),
+                   format_double(lf_acc.mean(), 2),
+                   std::to_string(healthy.total()),
+                   format_double(cost_acc.mean(), 0),
+                   format_double(penalty, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nObservations: stripe-rewrite writes dominate degraded "
+               "cost, so the narrower arrays (hdp) pay the smallest "
+               "absolute penalty; RDP's parity disks finally serve I/O, "
+               "pulling its LF down toward the verticals'.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Rebuild-time model: how long does a single-disk rebuild take per code,
+// with conventional vs minimal-read recovery plans, through the disk
+// service-time model? Rebuild reads dominate a real array's repair window
+// (and the repair window dominates reliability).
+//
+// The model exposes the classic reads-vs-balance trade-off: the
+// minimal-READ plan often LENGTHENS the window, because its savings come
+// from concentrating reads on overlapping equations — uneven per-disk
+// load and broken sequential runs — while the conventional plan reads
+// more elements in longer merged runs spread evenly. (This is exactly why
+// the load-balanced variants in the single-failure-recovery literature
+// exist.) A second genuine effect: D-Code rebuilds faster than X-Code
+// under either plan despite Theorem-1-identical read *counts*, because
+// its horizontal groups are contiguous row-major runs that merge into
+// single positioning delays.
+#include <iostream>
+
+#include "bench_common.h"
+#include "raid/recovery.h"
+#include "sim/disk_model.h"
+#include "util/stats.h"
+
+using namespace dcode;
+using namespace dcode::bench;
+
+namespace {
+
+// Model the reads of one stripe's recovery plan; writes to the
+// replacement disk happen in parallel and are sequential, so reads bound
+// the time.
+double plan_time_ms(const raid::RecoveryPlan& plan,
+                    const sim::DiskModelParams& params) {
+  raid::IoPlan io;
+  for (const codes::Element& e : plan.reads) {
+    io.accesses.push_back(raid::IoAccess{0, e, e.col, false});
+  }
+  return sim::plan_service_time_ms(io, params);
+}
+
+}  // namespace
+
+int main() {
+  sim::DiskModelParams params;
+  print_header("Single-disk rebuild time per stripe (modeled ms)",
+               "reads bound rebuild; averaged over every failed-disk case.");
+
+  TablePrinter table({"code", "p", "conventional-ms", "minimal-ms",
+                      "conv/min time"});
+  for (const auto& name : codes::all_code_names()) {
+    for (int p : {7, 13}) {
+      auto layout = codes::make_layout(name, p);
+      Accumulator conv, opt;
+      for (int f = 0; f < layout->cols(); ++f) {
+        conv.add(plan_time_ms(
+            raid::plan_single_disk_recovery(
+                *layout, f, raid::RecoveryStrategy::kConventional),
+            params));
+        opt.add(plan_time_ms(
+            raid::plan_single_disk_recovery(
+                *layout, f, raid::RecoveryStrategy::kMinimalReads),
+            params));
+      }
+      table.add_row({name, std::to_string(p), format_double(conv.mean(), 2),
+                     format_double(opt.mean(), 2),
+                     format_double(conv.mean() / opt.mean(), 3) + "x"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nObservations: minimal-read plans trade balance and "
+               "sequentiality for count, so ratios below 1 are expected — "
+               "use the conventional plan when wall-clock matters and the "
+               "minimal plan when surviving-disk wear matters. D-Code "
+               "beats X-Code under both plans (contiguous recovery "
+               "runs), even though Theorem 1 makes their read counts "
+               "identical.\n";
+  return 0;
+}

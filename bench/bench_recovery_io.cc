@@ -1,0 +1,49 @@
+// §III-D "Reducing I/O Cost to Recover from Single Failures": disk reads
+// needed to rebuild one failed disk, conventional (primary parity family
+// only) vs minimal (per-element hybrid family choice, Xu et al. 2013).
+//
+// Paper claim being reproduced: D-Code inherits X-Code's ~25% read
+// saving (it is a per-column reordering of X-Code, so the optimal plans
+// are isomorphic — the table shows identical counts for the two).
+#include <iostream>
+
+#include "bench_common.h"
+#include "raid/recovery.h"
+#include "util/stats.h"
+
+using namespace dcode;
+using namespace dcode::bench;
+
+int main() {
+  print_header("Single-disk recovery I/O (reads per stripe, averaged over "
+               "every failed-disk case)",
+               "conventional = primary parity family only; minimal = "
+               "optimal per-element family choice.");
+
+  TablePrinter table({"code", "p", "conventional", "minimal", "saving"});
+  for (const auto& name : codes::all_code_names()) {
+    for (int p : paper_primes()) {
+      auto layout = codes::make_layout(name, p);
+      Accumulator conv, opt;
+      for (int f = 0; f < layout->cols(); ++f) {
+        conv.add(static_cast<double>(
+            raid::plan_single_disk_recovery(
+                *layout, f, raid::RecoveryStrategy::kConventional)
+                .reads.size()));
+        opt.add(static_cast<double>(
+            raid::plan_single_disk_recovery(
+                *layout, f, raid::RecoveryStrategy::kMinimalReads)
+                .reads.size()));
+      }
+      double saving = 1.0 - opt.mean() / conv.mean();
+      table.add_row({name, std::to_string(p), format_double(conv.mean(), 1),
+                     format_double(opt.mean(), 1),
+                     format_double(100.0 * saving, 1) + "%"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper check: dcode and xcode rows are identical "
+               "(Theorem 1) and approach ~25% saving as p grows.\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Filestore demo: a miniature object store on a D-Code RAID-6 array —
+// the "cloud storage" scenario that motivates the paper's read-only
+// workload class.
+//
+// A flat allocator places variable-size objects in the array's logical
+// byte space; a tiny in-memory catalog maps names to extents. The demo
+// stores a batch of objects, serves reads while injecting disk failures
+// mid-flight, repairs, and proves every object back intact.
+//
+//   $ ./examples/filestore_demo
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+using namespace dcode;
+
+namespace {
+
+// A minimal append-only object store over the array's byte space.
+class FileStore {
+ public:
+  explicit FileStore(raid::Raid6Array& array) : array_(&array) {}
+
+  bool put(const std::string& name, std::span<const uint8_t> bytes) {
+    if (next_ + static_cast<int64_t>(bytes.size()) > array_->capacity())
+      return false;
+    array_->write(next_, bytes);
+    catalog_[name] = Extent{next_, static_cast<int64_t>(bytes.size())};
+    next_ += static_cast<int64_t>(bytes.size());
+    return true;
+  }
+
+  std::vector<uint8_t> get(const std::string& name) {
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) return {};
+    std::vector<uint8_t> out(static_cast<size_t>(it->second.size));
+    array_->read(it->second.offset, out);
+    return out;
+  }
+
+  size_t count() const { return catalog_.size(); }
+  int64_t bytes_used() const { return next_; }
+
+ private:
+  struct Extent {
+    int64_t offset;
+    int64_t size;
+  };
+  raid::Raid6Array* array_;
+  std::map<std::string, Extent> catalog_;
+  int64_t next_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  raid::Raid6Array array(codes::make_layout("dcode", 11),
+                         /*element_size=*/4096, /*stripes=*/48,
+                         /*threads=*/4);
+  FileStore store(array);
+  Pcg32 rng(7);
+
+  // Ingest a batch of objects with skewed sizes (mostly small, some big —
+  // a cloud-object-store-like distribution).
+  std::map<std::string, std::vector<uint8_t>> shadow;
+  for (int i = 0; i < 64; ++i) {
+    size_t size = 1 + rng.next_below(4096);
+    if (rng.next_below(8) == 0) size *= 37;  // occasional large object
+    std::vector<uint8_t> bytes(size);
+    rng.fill_bytes(bytes.data(), bytes.size());
+    std::string name = "obj-" + std::to_string(i);
+    if (!store.put(name, bytes)) break;
+    shadow[name] = std::move(bytes);
+  }
+  std::printf("stored %zu objects, %lld bytes (of %lld usable)\n",
+              store.count(), static_cast<long long>(store.bytes_used()),
+              static_cast<long long>(array.capacity()));
+
+  auto verify_all = [&](const char* phase) {
+    size_t bad = 0;
+    for (const auto& [name, bytes] : shadow) {
+      if (store.get(name) != bytes) ++bad;
+    }
+    std::printf("%-28s %zu/%zu objects intact\n", phase,
+                shadow.size() - bad, shadow.size());
+    return bad == 0;
+  };
+
+  bool ok = verify_all("healthy:");
+
+  array.fail_disk(3);
+  ok &= verify_all("one disk down:");
+
+  // Keep writing while degraded (stripe-rewrite path).
+  std::vector<uint8_t> extra(9000);
+  rng.fill_bytes(extra.data(), extra.size());
+  store.put("written-degraded", extra);
+  shadow["written-degraded"] = extra;
+  ok &= verify_all("after degraded write:");
+
+  array.fail_disk(8);
+  ok &= verify_all("two disks down:");
+
+  array.replace_disk(3);
+  array.replace_disk(8);
+  array.rebuild();
+  ok &= verify_all("after rebuild:");
+  std::printf("scrub: %lld inconsistent stripes\n",
+              static_cast<long long>(array.scrub()));
+
+  std::printf(ok ? "filestore survived a double disk failure intact\n"
+                 : "DATA LOSS DETECTED\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the 60-second tour of the library.
+//
+// Builds a 7-disk D-Code RAID-6 array over in-memory disks, writes a
+// payload, kills two disks, reads the data back degraded, swaps in blank
+// disks, rebuilds, and scrubs. Everything here is the public API a
+// storage system would use.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace dcode;
+
+  // A RAID-6 array: D-Code over 7 disks (n must be prime), 4 KiB
+  // elements, 64 stripes, parallel rebuild on 4 threads.
+  raid::Raid6Array array(codes::make_layout("dcode", 7),
+                         /*element_size=*/4096, /*stripes=*/64,
+                         /*threads=*/4);
+  std::printf("array: %s over %d disks, %lld stripes, %lld bytes usable\n",
+              array.layout().name().c_str(), array.layout().cols(),
+              static_cast<long long>(array.stripes()),
+              static_cast<long long>(array.capacity()));
+
+  // Write a random payload across the whole logical space.
+  Pcg32 rng(2026);
+  std::vector<uint8_t> payload(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(payload.data(), payload.size());
+  array.write(0, payload);
+  std::printf("wrote %zu bytes; scrub reports %lld inconsistent stripes\n",
+              payload.size(), static_cast<long long>(array.scrub()));
+
+  // Kill two disks — the worst case RAID-6 tolerates.
+  array.fail_disk(2);
+  array.fail_disk(5);
+  std::printf("disks 2 and 5 failed (%d down)\n", array.failed_disk_count());
+
+  // Degraded read: the array reconstructs lost elements on the fly.
+  std::vector<uint8_t> out(payload.size());
+  array.read(0, out);
+  std::printf("degraded read of the full array: %s\n",
+              out == payload ? "all bytes intact" : "DATA LOSS");
+
+  // Replace both disks with blanks and rebuild (D-Code uses its chain
+  // decoder, stripes in parallel).
+  array.replace_disk(2);
+  array.replace_disk(5);
+  array.rebuild();
+  std::printf("rebuilt; scrub reports %lld inconsistent stripes\n",
+              static_cast<long long>(array.scrub()));
+
+  array.read(0, out);
+  std::printf("post-rebuild read: %s\n",
+              out == payload ? "all bytes intact" : "DATA LOSS");
+
+  // Per-disk I/O accounting comes for free.
+  std::printf("disk I/O (reads/writes): ");
+  for (int d = 0; d < array.layout().cols(); ++d) {
+    std::printf("d%d=%lld/%lld ", d,
+                static_cast<long long>(array.disk(d).reads()),
+                static_cast<long long>(array.disk(d).writes()));
+  }
+  std::printf("\n");
+  return out == payload ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Recovery walkthrough: reproduces the paper's Figure 3 — D-Code's
+// double-disk-failure recovery chains, step by step, for any prime and
+// failure pair.
+//
+//   $ ./examples/recovery_walkthrough           # the paper's n=7, disks 2+3
+//   $ ./examples/recovery_walkthrough 11 4 9    # any prime / pair
+#include <cstdio>
+#include <cstdlib>
+
+#include "codes/dcode.h"
+#include "codes/dcode_decoder.h"
+#include "codes/encoder.h"
+#include "util/rng.h"
+
+using namespace dcode;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 7;
+  int f1 = argc > 2 ? std::atoi(argv[2]) : 2;
+  int f2 = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  codes::DCodeLayout layout(n);
+  Pcg32 rng(42);
+  codes::Stripe stripe(layout, 16);
+  stripe.randomize_data(rng);
+  codes::encode_stripe(stripe);
+
+  codes::Stripe broken = stripe.clone();
+  broken.erase_disk(f1);
+  broken.erase_disk(f2);
+
+  std::printf("D-Code n=%d, disks %d and %d failed: %d elements lost\n\n",
+              n, f1, f2, 2 * n);
+  auto res = codes::dcode_decode_two_disks(broken, f1, f2);
+  if (!res.success) {
+    std::printf("UNRECOVERABLE (should never happen for two disks)\n");
+    return 1;
+  }
+
+  std::printf("recovery sequence (the paper's chain order — each recovered "
+              "element's other\nequation unlocks the next link):\n");
+  int step = 1;
+  for (const auto& s : res.sequence) {
+    const auto& q = layout.equations()[static_cast<size_t>(s.equation)];
+    const bool horizontal = s.equation < n;
+    const bool is_parity = layout.is_parity(s.recovered.row, s.recovered.col);
+    std::printf("  %2d. %s[%d][%d] via the %s equation of P[%d][%d]%s\n",
+                step++, is_parity ? "P" : "D", s.recovered.row,
+                s.recovered.col, horizontal ? "horizontal" : "deployment",
+                q.parity.row, q.parity.col,
+                s.recovered == q.parity ? " (direct recompute)" : "");
+  }
+
+  std::printf("\nverification: %s; %zu XOR element-operations "
+              "(= 2n(n-3) = %d, the optimal decode cost)\n",
+              broken.equals(stripe) ? "all bytes match the original"
+                                    : "MISMATCH",
+              res.xor_ops, 2 * n * (n - 3));
+  return broken.equals(stripe) ? 0 : 1;
+}

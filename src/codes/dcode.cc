@@ -1,0 +1,97 @@
+#include "codes/dcode.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+DCodeLayout::DCodeLayout(int n) : CodeLayout("dcode", n, n, n) {
+  DCODE_CHECK(is_prime(n), "D-Code requires a prime disk count");
+  DCODE_CHECK(n >= 5, "D-Code needs n >= 5 (n - 2 data rows, 2 parity rows)");
+
+  for (int c = 0; c < n; ++c) {
+    set_kind(n - 2, c, ElementKind::kParityP);  // horizontal parity row
+    set_kind(n - 1, c, ElementKind::kParityQ);  // deployment parity row
+  }
+
+  const int half = (n - 3) / 2;  // (n-3)/2, integral since n is odd
+
+  // Eq. (1): horizontal parities.
+  for (int i = 0; i < n; ++i) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(n - 2));
+    for (int j = 0; j <= n - 3; ++j) {
+      int col = pmod(i + j + 2, n);
+      int row = pmod(static_cast<int64_t>(half) * (col - j), n - 2);
+      sources.push_back(make_element(row, col));
+    }
+    add_equation(make_element(n - 2, i), std::move(sources));
+  }
+
+  // Eq. (2): deployment parities.
+  for (int i = 0; i < n; ++i) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(n - 2));
+    for (int j = 0; j <= n - 3; ++j) {
+      int col = pmod(i - j - 2, n);
+      int row = pmod(static_cast<int64_t>(half) * (col - j), n - 2);
+      sources.push_back(make_element(row, col));
+    }
+    add_equation(make_element(n - 1, i), std::move(sources));
+  }
+
+  finalize();
+}
+
+std::vector<std::vector<Element>> DCodeLayout::horizontal_groups(int n) {
+  DCODE_CHECK(is_prime(n) && n >= 5, "D-Code requires a prime n >= 5");
+  // Step 1: identify data elements in row-major ("next horizontal") order.
+  // Step 2: chunk the stream into n groups of n-2 consecutive elements.
+  std::vector<std::vector<Element>> groups(static_cast<size_t>(n));
+  const int total = n * (n - 2);
+  for (int id = 0; id < total; ++id) {
+    int group = id / (n - 2);
+    groups[static_cast<size_t>(group)].push_back(
+        make_element(id / n, id % n));
+  }
+  return groups;
+}
+
+int DCodeLayout::horizontal_parity_col(int n, int group) {
+  DCODE_CHECK(group >= 0 && group < n, "group out of range");
+  // Step 3: the group's last element is D[x][y]; its parity is
+  // P[n-2][(y+1) mod n].
+  int last_id = group * (n - 2) + (n - 3);
+  int y = last_id % n;
+  return pmod(y + 1, n);
+}
+
+std::vector<std::vector<Element>> DCodeLayout::deployment_groups(int n) {
+  DCODE_CHECK(is_prime(n) && n >= 5, "D-Code requires a prime n >= 5");
+  // The paper's "next deployment element" walk, disambiguated by its
+  // worked example (the printed rule swaps the two cases): from (i, j)
+  // with j != 0 go below-left to ((i+1) mod (n-2), j-1); from (i, 0) jump
+  // to the last element of the current row, (i, n-1).
+  std::vector<std::vector<Element>> groups(static_cast<size_t>(n));
+  int i = 0, j = 0;
+  const int total = n * (n - 2);
+  for (int id = 0; id < total; ++id) {
+    groups[static_cast<size_t>(id / (n - 2))].push_back(make_element(i, j));
+    if (j != 0) {
+      i = pmod(i + 1, n - 2);
+      j = j - 1;
+    } else {
+      j = n - 1;
+    }
+  }
+  return groups;
+}
+
+int DCodeLayout::deployment_parity_col(int n, int group) {
+  DCODE_CHECK(group >= 0 && group < n, "group out of range");
+  // Step 3: group k ("letter" k) stores its parity at column (2 + 2k) mod n
+  // of the deployment parity row.
+  return pmod(2 + 2 * group, n);
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,52 @@
+// D-Code — the paper's contribution (Fu & Shu, IPDPS 2015).
+//
+// Stripe: n x n, n prime (one column per disk). Rows 0..n-3 hold data;
+// row n-2 holds the *horizontal* parities and row n-1 the *deployment*
+// parities, so parity is spread evenly (exactly two parity elements per
+// disk) and all data sits in a contiguous band every disk contributes to.
+//
+// Horizontal parity i (Eq. 1 of the paper):
+//   P[n-2][i] = XOR_{j=0..n-3} D[ ((n-3)/2 * ((i+j+2)%n - j)) % (n-2) ]
+//                              [ (i+j+2) % n ]
+// Each horizontal parity covers n-2 *consecutive* elements of the
+// row-major data stream (groups wrap across row ends, shifting 2 columns
+// per row) — this is what makes partial stripe writes cheap.
+//
+// Deployment parity i (Eq. 2):
+//   P[n-1][i] = XOR_{j=0..n-3} D[ ((n-3)/2 * ((i-j-2)%n - j)) % (n-2) ]
+//                              [ (i-j-2) % n ]
+// Deployment groups follow the paper's "deployment walk": from (i, j) go
+// below-left to ((i+1) % (n-2), j-1), and from column 0 jump to the end of
+// the current row.
+//
+// Both the closed forms above and the paper's 4-step procedural
+// constructions are implemented; tests assert they generate identical
+// equations for every prime, which caught transcription typos in the
+// paper's own Eq. 2 rendering (the published text garbles the walk's
+// j = 0 case; the worked figure disambiguates it).
+#pragma once
+
+#include <memory>
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class DCodeLayout final : public CodeLayout {
+ public:
+  // `n`: disk count; must be prime and >= 5.
+  explicit DCodeLayout(int n);
+
+  // The paper's procedural constructions (§III-A steps 1–4), exposed for
+  // cross-validation and for the layout_explorer example:
+  // horizontal_groups()[g] lists the data elements labeled with number g;
+  // deployment_groups()[g] lists those labeled with letter g.
+  // Group g's parity columns are horizontal_parity_col(g) /
+  // deployment_parity_col(g).
+  static std::vector<std::vector<Element>> horizontal_groups(int n);
+  static std::vector<std::vector<Element>> deployment_groups(int n);
+  static int horizontal_parity_col(int n, int group);
+  static int deployment_parity_col(int n, int group);
+};
+
+}  // namespace dcode::codes

@@ -1,0 +1,40 @@
+// D-Code's double-disk-failure reconstruction (paper §III-C).
+//
+// When disks f1 < f2 fail, recovery starts from the four "corner" parities
+// the failed columns do not touch — horizontal parities at columns f1-1
+// and f2-1, deployment parities at columns f1+1 and f2+1 — and walks
+// recovery chains that alternate between the horizontal and deployment
+// equations of the just-recovered element, exactly as in the paper's
+// Figure 3 example ({D13 -> D22 -> D23 -> D32 -> D33 -> P62}, ...).
+//
+// The implementation is a deterministic work-queue peel over D-Code's
+// equations: seeded with every equation that has exactly one member on a
+// failed disk (the four corners for a generic failure pair), each resolved
+// element enqueues its *other* equation. It records the full recovery
+// sequence so tests can check the paper's chains verbatim and the
+// recovery_walkthrough example can print them.
+#pragma once
+
+#include <vector>
+
+#include "codes/stripe.h"
+
+namespace dcode::codes {
+
+struct ChainStep {
+  Element recovered;      // the element reconstructed at this step
+  int equation;           // index into layout.equations() used to do it
+};
+
+struct ChainDecodeResult {
+  bool success = false;
+  std::vector<ChainStep> sequence;  // in recovery order
+  size_t xor_ops = 0;
+};
+
+// Rebuilds all elements of failed disks f1 and f2 in place. The stripe's
+// layout must be a DCodeLayout (checked); other codes go through the
+// generic decoders.
+ChainDecodeResult dcode_decode_two_disks(Stripe& stripe, int f1, int f2);
+
+}  // namespace dcode::codes

@@ -1,0 +1,39 @@
+// Element addressing inside one stripe of an array code.
+//
+// Every RAID-6 array code in this library lays a stripe out as a
+// rows x cols matrix of fixed-size elements, one column per disk. An
+// Element names one cell; ordering is row-major so elements sort in the
+// same order the papers enumerate "continuous data elements".
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace dcode::codes {
+
+struct Element {
+  int16_t row = 0;
+  int16_t col = 0;
+
+  friend auto operator<=>(const Element&, const Element&) = default;
+};
+
+inline Element make_element(int row, int col) {
+  return Element{static_cast<int16_t>(row), static_cast<int16_t>(col)};
+}
+
+struct ElementHash {
+  size_t operator()(const Element& e) const {
+    return std::hash<uint32_t>{}(
+        (static_cast<uint32_t>(static_cast<uint16_t>(e.row)) << 16) |
+        static_cast<uint16_t>(e.col));
+  }
+};
+
+// What a cell holds. Codes with two parity families map them to kParityP
+// (first family: horizontal/diagonal/row) and kParityQ (second family:
+// deployment/anti-diagonal/diagonal), in the order the papers define them.
+enum class ElementKind : uint8_t { kData, kParityP, kParityQ };
+
+}  // namespace dcode::codes

@@ -1,0 +1,34 @@
+#include "codes/encoder.h"
+
+#include <vector>
+
+#include "xorops/xor_region.h"
+
+namespace dcode::codes {
+
+void encode_equations(Stripe& stripe, std::span<const int> equation_indices) {
+  const CodeLayout& layout = stripe.layout();
+  const size_t esize = stripe.element_size();
+  std::vector<const uint8_t*> sources;
+  for (int qi : equation_indices) {
+    const Equation& q = layout.equations()[static_cast<size_t>(qi)];
+    sources.clear();
+    sources.reserve(q.sources.size());
+    for (const Element& e : q.sources) sources.push_back(stripe.at(e));
+    xorops::xor_many(stripe.at(q.parity), sources, esize);
+  }
+}
+
+void encode_stripe(Stripe& stripe) {
+  encode_equations(stripe, stripe.layout().encode_order());
+}
+
+size_t encode_xor_count(const CodeLayout& layout) {
+  size_t n = 0;
+  for (const Equation& q : layout.equations()) {
+    n += q.sources.size() - 1;
+  }
+  return n;
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,26 @@
+// Generic stripe encoder.
+//
+// Walks the layout's topologically ordered equations and materializes each
+// parity with one fused multi-source XOR. Works unchanged for every code
+// in the registry; also exposes the XOR-operation count so the complexity
+// bench can verify the paper's 2 - 2/(n-2) optimal encoding claim.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "codes/stripe.h"
+
+namespace dcode::codes {
+
+// Computes every parity element of `stripe` from its data elements.
+void encode_stripe(Stripe& stripe);
+
+// Recomputes only the given equations (by index into layout.equations()).
+void encode_equations(Stripe& stripe, std::span<const int> equation_indices);
+
+// XOR single-element operations a full encode performs:
+// sum over equations of (|sources| - 1).
+size_t encode_xor_count(const CodeLayout& layout);
+
+}  // namespace dcode::codes

@@ -1,0 +1,48 @@
+#include "codes/evenodd.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+EvenOddLayout::EvenOddLayout(int p) : CodeLayout("evenodd", p, p - 1, p + 2) {
+  DCODE_CHECK(is_prime(p), "EVENODD requires a prime p");
+  DCODE_CHECK(p >= 3, "EVENODD needs p >= 3");
+
+  for (int r = 0; r < p - 1; ++r) {
+    set_kind(r, p, ElementKind::kParityP);      // row parity disk
+    set_kind(r, p + 1, ElementKind::kParityQ);  // diagonal parity disk
+  }
+
+  // Row parities over the p data columns.
+  for (int r = 0; r < p - 1; ++r) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(p));
+    for (int c = 0; c <= p - 1; ++c) sources.push_back(make_element(r, c));
+    add_equation(make_element(r, p), std::move(sources));
+  }
+
+  // The S adjuster: data elements on the special diagonal
+  // (r + c) mod p == p - 1.
+  std::vector<Element> s_diag;
+  for (int c = 1; c <= p - 1; ++c) {
+    int r = p - 1 - c;
+    if (r <= p - 2) s_diag.push_back(make_element(r, c));
+  }
+
+  // Diagonal parities: P[i][p+1] = S ^ XOR(diagonal i). Expressed as one
+  // XOR equation whose source list concatenates both sets (they are
+  // disjoint since i != p-1, so nothing cancels).
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources = s_diag;
+    for (int c = 0; c <= p - 1; ++c) {
+      int r = pmod(i - c, p);
+      if (r <= p - 2) sources.push_back(make_element(r, c));
+    }
+    add_equation(make_element(i, p + 1), std::move(sources));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,23 @@
+// EVENODD (Blaum, Bruck & Menon 1995/1999).
+//
+// Stripe: (p-1) x (p+2), p prime. Columns 0..p-1 hold data, column p the
+// row parities, column p+1 the diagonal parities. The diagonals are
+// "adjusted" by S, the XOR of the special diagonal (r + c) mod p == p-1:
+//   P[i][p+1] = S ^ XOR{ D[r][c] : (r+c) mod p == i }.
+// Because S appears in every diagonal equation, data elements on the
+// special diagonal participate in *all* p-1 diagonal parities — EVENODD's
+// well-known non-optimal update complexity, and the reason its
+// double-failure decode does not always peel (our hybrid decoder falls
+// back to GF(2) elimination there).
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class EvenOddLayout final : public CodeLayout {
+ public:
+  explicit EvenOddLayout(int p);
+};
+
+}  // namespace dcode::codes

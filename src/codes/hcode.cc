@@ -1,0 +1,43 @@
+#include "codes/hcode.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+HCodeLayout::HCodeLayout(int p) : CodeLayout("hcode", p, p - 1, p + 1) {
+  DCODE_CHECK(is_prime(p), "H-Code requires a prime p");
+  DCODE_CHECK(p >= 5, "H-Code needs p >= 5");
+
+  for (int i = 0; i < p - 1; ++i) {
+    set_kind(i, p, ElementKind::kParityP);      // horizontal parity disk
+    set_kind(i, i + 1, ElementKind::kParityQ);  // anti-diagonal parities
+  }
+
+  // Horizontal parities: whole row except the embedded anti-diagonal
+  // parity element.
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(p - 1));
+    for (int j = 0; j <= p - 1; ++j) {
+      if (j == i + 1) continue;
+      sources.push_back(make_element(i, j));
+    }
+    add_equation(make_element(i, p), std::move(sources));
+  }
+
+  // Anti-diagonal parities: line (col - row) mod p == i + 2, one element
+  // per data row.
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(p - 1));
+    for (int j = 0; j <= p - 2; ++j) {
+      sources.push_back(make_element(j, pmod(i + j + 2, p)));
+    }
+    add_equation(make_element(i, i + 1), std::move(sources));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

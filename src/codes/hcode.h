@@ -1,0 +1,29 @@
+// H-Code (Wu, Wan, He, Cao & Xie, IPDPS 2011).
+//
+// Stripe: (p-1) x (p+1), p prime. Column p is a dedicated horizontal
+// parity disk; the anti-diagonal parities sit *inside* the data matrix at
+// C[i][i+1] — "in the middle of the stripe", which is why the D-Code paper
+// dings H-Code's normal-read balance even though its horizontal parities
+// make partial stripe writes cheap.
+//
+//   Horizontal:    C[i][p]   = XOR_{j=0..p-1, j != i+1} C[i][j]
+//   Anti-diagonal: C[i][i+1] = XOR_{j=0..p-2} C[j][(i+j+2) mod p]
+//
+// Each anti-diagonal group is the line (col - row) mod p == i+2, which
+// never meets a parity cell ((col - row) of a parity is 1, and i+2 != 1
+// for 0 <= i <= p-2), so each data element lies in exactly one horizontal
+// and one anti-diagonal equation: optimal update complexity. The
+// construction is validated exhaustively in tests: every two-disk failure
+// decodes for p in {5, 7, 11, 13}.
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class HCodeLayout final : public CodeLayout {
+ public:
+  explicit HCodeLayout(int p);
+};
+
+}  // namespace dcode::codes

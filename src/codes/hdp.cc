@@ -1,0 +1,53 @@
+#include "codes/hdp.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+HdpLayout::HdpLayout(int p) : HdpLayout(p, HdpVariant{}) {}
+
+HdpLayout::HdpLayout(int p, const HdpVariant& variant)
+    : CodeLayout("hdp", p, p - 1, p - 1) {
+  DCODE_CHECK(is_prime(p), "HDP requires a prime p");
+  DCODE_CHECK(p >= 5, "HDP needs p >= 5");
+
+  for (int i = 0; i < p - 1; ++i) {
+    set_kind(i, i, ElementKind::kParityP);          // horizontal parities
+    set_kind(i, p - 2 - i, ElementKind::kParityQ);  // diagonal parities
+  }
+
+  // Diagonal parities first (they feed the horizontal equations when
+  // row_covers_anti_parity is set): equations 0..p-2.
+  for (int i = 0; i < p - 1; ++i) {
+    int s = pmod(variant.slope * i + variant.offset, p);
+    std::vector<Element> sources;
+    for (int c = 0; c <= p - 2; ++c) {
+      int r = variant.family == HdpVariant::Family::kDiff ? pmod(c - s, p)
+                                                          : pmod(s - c, p);
+      if (r > p - 2) continue;               // wrapped off the stripe
+      if (r == i && c == p - 2 - i) continue;  // the parity cell itself
+      if (c == p - 2 - r) continue;          // never cover other Q parities
+      if (r == c && !variant.anti_covers_horizontal_parity) continue;
+      sources.push_back(make_element(r, c));
+    }
+    DCODE_CHECK(!sources.empty(), "degenerate diagonal line");
+    add_equation(make_element(i, p - 2 - i), std::move(sources));
+  }
+
+  // Horizontal parities: equations p-1..2p-3.
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(p - 2));
+    for (int j = 0; j <= p - 2; ++j) {
+      if (j == i) continue;
+      if (!variant.row_covers_anti_parity && j == p - 2 - i) continue;
+      sources.push_back(make_element(i, j));
+    }
+    add_equation(make_element(i, i), std::move(sources));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

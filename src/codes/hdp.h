@@ -1,0 +1,58 @@
+// HDP — Horizontal-Diagonal Parity code (Wu et al., DSN 2010).
+//
+// Stripe: (p-1) x (p-1), p prime. The horizontal parities sit on the main
+// diagonal C[i][i] and the diagonal parities on the anti-diagonal
+// C[i][p-2-i], so parity is spread across all disks — HDP is one of the
+// two "well-balanced" baselines (with X-Code) in the D-Code paper's
+// Figure 4, and like X-Code it pays for balance with extra partial-write
+// I/O (Figure 5).
+//
+//   Horizontal: C[i][i]     = XOR of every other element of row i —
+//               including the embedded anti-diagonal parity element, the
+//               way RDP's diagonals cover the row parities.
+//   Diagonal:   C[i][p-2-i] = XOR of the data elements on the wrapped
+//               diagonal line (col - row) mod p == -2(i+1) mod p — the
+//               line through the parity cell itself (which is excluded;
+//               the line meets no other parity cell).
+//
+// This coupling is what makes HDP partial writes dear (the D-Code paper's
+// Figure 5): updating a data element dirties its row parity, its diagonal
+// parity, and — because the diagonal parity lives in *another* row whose
+// horizontal parity covers it — that row's horizontal parity too, so a
+// run of L consecutive elements touches ~2L+2 parities, X-Code-class
+// cost, despite the shared row parity.
+//
+// The D-Code paper does not restate HDP's equations, so HdpVariant keeps
+// the construction knobs explicit. The shipped defaults are the unique
+// natural variant (parity covers its own line; rows cover embedded
+// parities) that passes the exhaustive two-disk-failure MDS check for
+// every prime up to 19 (re-verified in tests/mds_test.cc).
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+struct HdpVariant {
+  // Does the row parity cover the anti-diagonal parity embedded in its
+  // row?
+  bool row_covers_anti_parity = true;
+  // Do the diagonal parities cover horizontal parity cells their line
+  // crosses? (With the default family/slope the line never crosses one.)
+  bool anti_covers_horizontal_parity = false;
+  // Line family of parity i: kDiff means (col - row) mod p == s(i),
+  // kSum means (row + col) mod p == s(i), with s(i) = slope*i + offset.
+  enum class Family { kDiff, kSum };
+  Family family = Family::kDiff;
+  int slope = -2;
+  int offset = -2;
+};
+
+class HdpLayout final : public CodeLayout {
+ public:
+  explicit HdpLayout(int p);
+  // Exposed for construction-search tooling and variant tests.
+  HdpLayout(int p, const HdpVariant& variant);
+};
+
+}  // namespace dcode::codes

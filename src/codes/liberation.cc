@@ -1,0 +1,45 @@
+#include "codes/liberation.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+LiberationLayout::LiberationLayout(int p)
+    : CodeLayout("liberation", p, p, p + 2) {
+  DCODE_CHECK(is_prime(p), "Liberation requires a prime p");
+  DCODE_CHECK(p >= 5, "Liberation needs p >= 5");
+
+  for (int r = 0; r < p; ++r) {
+    set_kind(r, p, ElementKind::kParityP);      // row parity disk
+    set_kind(r, p + 1, ElementKind::kParityQ);  // liberated diagonal disk
+  }
+
+  for (int j = 0; j < p; ++j) {
+    std::vector<Element> row;
+    row.reserve(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i) row.push_back(make_element(j, i));
+    add_equation(make_element(j, p), std::move(row));
+  }
+
+  const int half_up = (p + 1) / 2;    // == inverse of 2 mod p
+  const int half_down = (p - 1) / 2;  // == -inverse of 2 mod p
+  std::vector<std::vector<Element>> q(static_cast<size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    for (int i = 0; i < p; ++i) {
+      q[static_cast<size_t>(j)].push_back(make_element(pmod(j - i, p), i));
+    }
+  }
+  for (int i = 1; i < p; ++i) {
+    int qrow = pmod(static_cast<int64_t>(half_up) * i, p);
+    int drow = pmod(static_cast<int64_t>(half_down) * i + 1, p);
+    q[static_cast<size_t>(qrow)].push_back(make_element(drow, i));
+  }
+  for (int j = 0; j < p; ++j) {
+    add_equation(make_element(j, p + 1), std::move(q[static_cast<size_t>(j)]));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

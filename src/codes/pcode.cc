@@ -1,0 +1,61 @@
+#include "codes/pcode.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+PCodeLayout::PCodeLayout(int p)
+    : CodeLayout("pcode", p, (p - 1) / 2, p - 1) {
+  DCODE_CHECK(is_prime(p), "P-Code requires a prime p");
+  DCODE_CHECK(p >= 5, "P-Code needs p >= 5");
+
+  pairs_.assign(static_cast<size_t>(rows()) * cols(), {0, 0});
+  for (int c = 0; c < p - 1; ++c) {
+    set_kind(0, c, ElementKind::kParityP);
+  }
+
+  // Lay out each column's pairs {i, j}, i < j, i + j == label (mod p), in
+  // ascending i order below the parity row.
+  std::map<std::pair<int, int>, Element> where;
+  for (int col = 0; col < p - 1; ++col) {
+    const int label = col + 1;
+    int row = 1;
+    for (int i = 1; i <= p - 1; ++i) {
+      int j = pmod(label - i, p);
+      if (j == 0 || j <= i) continue;
+      DCODE_ASSERT(row < rows(), "more pairs than data rows");
+      Element e = make_element(row, col);
+      pairs_[cell_index(row, col)] = {i, j};
+      where[{i, j}] = e;
+      ++row;
+    }
+    DCODE_ASSERT(row == rows(), "column must fill all data rows");
+  }
+
+  // Parity group g = XOR of every data element whose pair contains g.
+  for (int col = 0; col < p - 1; ++col) {
+    const int g = col + 1;
+    std::vector<Element> sources;
+    for (int x = 1; x <= p - 1; ++x) {
+      if (x == g || pmod(g + x, p) == 0) continue;
+      auto key = std::minmax(g, x);
+      auto it = where.find({key.first, key.second});
+      DCODE_ASSERT(it != where.end(), "pair must have been laid out");
+      sources.push_back(it->second);
+    }
+    add_equation(make_element(0, col), std::move(sources));
+  }
+
+  finalize();
+}
+
+std::pair<int, int> PCodeLayout::pair_of(int row, int col) const {
+  DCODE_CHECK(!is_parity(row, col), "parity cells store no pair");
+  return pairs_[cell_index(row, col)];
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,39 @@
+#include "codes/rdp.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+RdpLayout::RdpLayout(int p) : CodeLayout("rdp", p, p - 1, p + 1) {
+  DCODE_CHECK(is_prime(p), "RDP requires a prime p");
+  DCODE_CHECK(p >= 3, "RDP needs p >= 3");
+
+  for (int r = 0; r < p - 1; ++r) {
+    set_kind(r, p - 1, ElementKind::kParityP);  // row parity disk
+    set_kind(r, p, ElementKind::kParityQ);      // diagonal parity disk
+  }
+
+  // Row parities: P[r][p-1] = XOR of the row's data.
+  for (int r = 0; r < p - 1; ++r) {
+    std::vector<Element> sources;
+    sources.reserve(static_cast<size_t>(p - 1));
+    for (int c = 0; c <= p - 2; ++c) sources.push_back(make_element(r, c));
+    add_equation(make_element(r, p - 1), std::move(sources));
+  }
+
+  // Diagonal parities: diagonal d = { (r, c) : (r + c) % p == d } over
+  // columns 0..p-1 (row parity column included), rows 0..p-2.
+  for (int d = 0; d < p - 1; ++d) {
+    std::vector<Element> sources;
+    for (int c = 0; c <= p - 1; ++c) {
+      int r = pmod(d - c, p);
+      if (r <= p - 2) sources.push_back(make_element(r, c));
+    }
+    add_equation(make_element(d, p), std::move(sources));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

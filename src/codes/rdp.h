@@ -1,0 +1,24 @@
+// RDP — Row-Diagonal Parity (Corbett et al., FAST 2004).
+//
+// The canonical *horizontal* RAID-6 code. Stripe: (p-1) x (p+1), p prime.
+// Columns 0..p-2 hold data, column p-1 the row parities, column p the
+// diagonal parities. Diagonal d contains the elements (r, c) with
+// (r + c) mod p == d over columns 0..p-1 — *including* the row-parity
+// column, which is what gives RDP optimal encoding complexity. Diagonal
+// p-1 is not stored ("the missing diagonal").
+//
+// Its two dedicated parity disks serve no normal reads and absorb every
+// partial-write update — the unbalanced-I/O problem the D-Code paper
+// opens with.
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class RdpLayout final : public CodeLayout {
+ public:
+  explicit RdpLayout(int p);
+};
+
+}  // namespace dcode::codes

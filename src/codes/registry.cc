@@ -1,0 +1,68 @@
+#include "codes/registry.h"
+
+#include "codes/dcode.h"
+#include "codes/evenodd.h"
+#include "codes/hcode.h"
+#include "codes/hdp.h"
+#include "codes/liberation.h"
+#include "codes/pcode.h"
+#include "codes/rdp.h"
+#include "codes/star.h"
+#include "codes/xcode.h"
+#include "util/check.h"
+
+namespace dcode::codes {
+
+const std::vector<std::string>& all_code_names() {
+  static const std::vector<std::string> names = {
+      "dcode", "xcode", "rdp", "evenodd", "hcode", "hdp", "pcode",
+      "liberation", "star"};
+  return names;
+}
+
+const std::vector<std::string>& paper_comparison_codes() {
+  static const std::vector<std::string> names = {"rdp", "hcode", "hdp",
+                                                 "xcode", "dcode"};
+  return names;
+}
+
+std::unique_ptr<CodeLayout> make_layout(CodeId id, int p) {
+  switch (id) {
+    case CodeId::kDCode:
+      return std::make_unique<DCodeLayout>(p);
+    case CodeId::kXCode:
+      return std::make_unique<XCodeLayout>(p);
+    case CodeId::kRdp:
+      return std::make_unique<RdpLayout>(p);
+    case CodeId::kEvenOdd:
+      return std::make_unique<EvenOddLayout>(p);
+    case CodeId::kHCode:
+      return std::make_unique<HCodeLayout>(p);
+    case CodeId::kHdp:
+      return std::make_unique<HdpLayout>(p);
+    case CodeId::kPCode:
+      return std::make_unique<PCodeLayout>(p);
+    case CodeId::kLiberation:
+      return std::make_unique<LiberationLayout>(p);
+    case CodeId::kStar:
+      return std::make_unique<StarLayout>(p);
+  }
+  DCODE_CHECK(false, "unknown code id");
+  return nullptr;
+}
+
+std::unique_ptr<CodeLayout> make_layout(const std::string& name, int p) {
+  if (name == "dcode") return make_layout(CodeId::kDCode, p);
+  if (name == "xcode") return make_layout(CodeId::kXCode, p);
+  if (name == "rdp") return make_layout(CodeId::kRdp, p);
+  if (name == "evenodd") return make_layout(CodeId::kEvenOdd, p);
+  if (name == "hcode") return make_layout(CodeId::kHCode, p);
+  if (name == "hdp") return make_layout(CodeId::kHdp, p);
+  if (name == "pcode") return make_layout(CodeId::kPCode, p);
+  if (name == "liberation") return make_layout(CodeId::kLiberation, p);
+  if (name == "star") return make_layout(CodeId::kStar, p);
+  DCODE_CHECK(false, "unknown code name: " + name);
+  return nullptr;
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,29 @@
+// Layout factory: codes by name, the way benches/examples select them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+enum class CodeId {
+  kDCode, kXCode, kRdp, kEvenOdd, kHCode, kHdp, kPCode, kLiberation,
+  kStar  // three-fault-tolerant (beyond RAID-6)
+};
+
+// Human-readable ids: "dcode", "xcode", "rdp", "evenodd", "hcode", "hdp",
+// "pcode", "liberation", "star".
+const std::vector<std::string>& all_code_names();
+
+// Throws std::logic_error for unknown names or invalid primes.
+std::unique_ptr<CodeLayout> make_layout(const std::string& name, int p);
+std::unique_ptr<CodeLayout> make_layout(CodeId id, int p);
+
+// The five codes the paper's evaluation compares (Figures 4–7), in the
+// paper's legend order: rdp, hcode, hdp, xcode, dcode.
+const std::vector<std::string>& paper_comparison_codes();
+
+}  // namespace dcode::codes

@@ -1,0 +1,102 @@
+#include "codes/shortened.h"
+
+#include <vector>
+
+#include "codes/registry.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+int droppable_columns(const CodeLayout& base) {
+  int n = 0;
+  for (int c = 0; c < base.cols(); ++c) {
+    if (base.parity_elements_on_disk(c) == 0) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Old-column -> new-column map after dropping the `drop` highest-index
+// pure-data columns; -1 marks a dropped (virtual, all-zero) column.
+std::vector<int> column_remap(const CodeLayout& base, int drop) {
+  std::vector<bool> dropped(static_cast<size_t>(base.cols()), false);
+  int remaining = drop;
+  for (int c = base.cols() - 1; c >= 0 && remaining > 0; --c) {
+    if (base.parity_elements_on_disk(c) == 0) {
+      dropped[static_cast<size_t>(c)] = true;
+      --remaining;
+    }
+  }
+  DCODE_CHECK(remaining == 0,
+              "can only drop pure-data columns (vertical codes have none)");
+  std::vector<int> map(static_cast<size_t>(base.cols()), -1);
+  int next = 0;
+  for (int c = 0; c < base.cols(); ++c) {
+    if (!dropped[static_cast<size_t>(c)]) map[static_cast<size_t>(c)] = next++;
+  }
+  return map;
+}
+
+}  // namespace
+
+ShortenedLayout::ShortenedLayout(const CodeLayout& base, int drop)
+    : CodeLayout(base.name() + "-short", base.prime(), base.rows(),
+                 base.cols() - drop),
+      drop_(drop) {
+  DCODE_CHECK(drop >= 0 && drop < base.cols(), "invalid shortening amount");
+  const std::vector<int> remap = column_remap(base, drop);
+
+  for (int r = 0; r < rows(); ++r) {
+    for (int c = 0; c < base.cols(); ++c) {
+      int nc = remap[static_cast<size_t>(c)];
+      if (nc >= 0) set_kind(r, nc, base.kind(r, c));
+    }
+  }
+
+  for (const Equation& q : base.equations()) {
+    int pc = remap[static_cast<size_t>(q.parity.col)];
+    DCODE_ASSERT(pc >= 0, "parity columns are never dropped");
+    std::vector<Element> sources;
+    sources.reserve(q.sources.size());
+    for (const Element& e : q.sources) {
+      int nc = remap[static_cast<size_t>(e.col)];
+      if (nc >= 0) sources.push_back(make_element(e.row, nc));
+      // Dropped sources are virtual zeros: XORing them away is free.
+    }
+    DCODE_CHECK(!sources.empty(), "equation lost every source");
+    add_equation(make_element(q.parity.row, pc), std::move(sources));
+  }
+
+  finalize();
+}
+
+std::unique_ptr<CodeLayout> make_shortened_layout(const std::string& family,
+                                                  int disks) {
+  DCODE_CHECK(disks >= 4, "RAID-6 needs at least 4 disks");
+  // Find the smallest prime whose layout has >= disks columns and enough
+  // droppable data columns to land exactly on `disks`.
+  for (int p = 5; p < disks + 200; p = next_prime(p + 1)) {
+    std::unique_ptr<CodeLayout> base;
+    try {
+      base = make_layout(family, p);
+    } catch (const std::logic_error&) {
+      continue;  // family minimum not reached yet
+    }
+    if (base->cols() == disks) return base;  // exact fit, no shortening
+    if (base->cols() < disks) continue;
+    int drop = base->cols() - disks;
+    if (droppable_columns(*base) >= drop) {
+      return std::make_unique<ShortenedLayout>(*base, drop);
+    }
+    // Columns available but not droppable: a vertical family with parity
+    // on every disk. No larger prime changes that.
+    DCODE_CHECK(false, family + " cannot be shortened to " +
+                           std::to_string(disks) +
+                           " disks (parity on every column)");
+  }
+  DCODE_CHECK(false, "no viable prime found for " + family);
+  return nullptr;
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,49 @@
+// Shortening: run a prime-parameter code on an arbitrary disk count.
+//
+// The classic trick (used by every EVENODD/RDP deployment): construct the
+// code for a larger prime and declare some *pure-data* columns to be
+// virtual — permanently all-zero, neither stored nor addressable. XORing
+// zero changes nothing, so every parity equation simply drops its virtual
+// sources and the fault-tolerance argument carries over verbatim (our
+// tests re-verify MDS-ness of shortened layouts exhaustively anyway).
+//
+// Only columns with no parity elements can be dropped, which is why this
+// works for the horizontal codes (RDP, EVENODD: data columns 0..p-2) and
+// H-Code (column 0), but not for the fully-vertical codes — D-Code,
+// X-Code, HDP and P-Code put parity on every disk, which is exactly the
+// price of their balanced layout. make_shortened_layout() picks the
+// smallest prime that shortens down to the requested disk count and
+// throws if the family cannot shorten.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class ShortenedLayout final : public CodeLayout {
+ public:
+  // Shortens `base` by dropping its `drop` highest-index *pure-data*
+  // columns (parity columns are never dropped; the surviving columns are
+  // renumbered contiguously, parity disks sliding left). Throws if the
+  // base has fewer than `drop` pure-data columns.
+  ShortenedLayout(const CodeLayout& base, int drop);
+
+  int dropped_columns() const { return drop_; }
+
+ private:
+  int drop_;
+};
+
+// Number of pure-data columns (the shortening capacity).
+int droppable_columns(const CodeLayout& base);
+
+// Builds `family` (a registry code name) shortened to exactly `disks`
+// disks, using the smallest viable prime. Throws when impossible (the
+// fully-vertical families, or disk counts below the family minimum).
+std::unique_ptr<CodeLayout> make_shortened_layout(const std::string& family,
+                                                  int disks);
+
+}  // namespace dcode::codes

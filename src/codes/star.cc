@@ -1,0 +1,57 @@
+#include "codes/star.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+StarLayout::StarLayout(int p)
+    : CodeLayout("star", p, p - 1, p + 3, /*tolerance=*/3) {
+  DCODE_CHECK(is_prime(p), "STAR requires a prime p");
+  DCODE_CHECK(p >= 3, "STAR needs p >= 3");
+
+  for (int r = 0; r < p - 1; ++r) {
+    set_kind(r, p, ElementKind::kParityP);      // row parity disk
+    set_kind(r, p + 1, ElementKind::kParityQ);  // diagonal parity disk
+    set_kind(r, p + 2, ElementKind::kParityQ);  // anti-diagonal parity disk
+  }
+
+  // Data elements of a wrapped class. sign=+1: (r + c) mod p == s
+  // (diagonals); sign=-1: (r - c) mod p == s (anti-diagonals).
+  auto klass = [&](int sign, int s) {
+    std::vector<Element> out;
+    for (int c = 0; c <= p - 1; ++c) {
+      int r = sign > 0 ? pmod(s - c, p) : pmod(s + c, p);
+      if (r <= p - 2) out.push_back(make_element(r, c));
+    }
+    return out;
+  };
+
+  // Row parities.
+  for (int r = 0; r < p - 1; ++r) {
+    std::vector<Element> row;
+    row.reserve(static_cast<size_t>(p));
+    for (int c = 0; c <= p - 1; ++c) row.push_back(make_element(r, c));
+    add_equation(make_element(r, p), std::move(row));
+  }
+
+  // Diagonal parities (EVENODD): P[i][p+1] = S1 ^ class(+1, i).
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources = klass(+1, p - 1);  // S1
+    auto ci = klass(+1, i);
+    sources.insert(sources.end(), ci.begin(), ci.end());
+    add_equation(make_element(i, p + 1), std::move(sources));
+  }
+
+  // Anti-diagonal parities: P[i][p+2] = S2 ^ class(-1, i).
+  for (int i = 0; i < p - 1; ++i) {
+    std::vector<Element> sources = klass(-1, p - 1);  // S2
+    auto ci = klass(-1, i);
+    sources.insert(sources.end(), ci.begin(), ci.end());
+    add_equation(make_element(i, p + 2), std::move(sources));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

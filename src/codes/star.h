@@ -1,0 +1,26 @@
+// STAR code (Huang & Xu, 2005/2008): EVENODD extended to tolerate THREE
+// concurrent disk failures — the "beyond RAID-6" extension the D-Code
+// paper's related-work section gestures at (STAIR, triple-parity).
+//
+// Stripe: (p-1) x (p+3), p prime. Columns 0..p-1 hold data; column p the
+// row parities; column p+1 the EVENODD diagonal parities (classes
+// (r + c) mod p == i, adjusted by S1 = class p-1); column p+2 the
+// anti-diagonal parities (classes (r - c) mod p == i, adjusted by
+// S2 = class p-1).
+//
+// Triple-failure recovery runs through the generic GF(2) elimination
+// decoder — no code-specific decode needed — and the construction is
+// validated exhaustively: every C(p+3, 3) disk triple decodes for every
+// prime in the test sweep.
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class StarLayout final : public CodeLayout {
+ public:
+  explicit StarLayout(int p);
+};
+
+}  // namespace dcode::codes

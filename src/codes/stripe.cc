@@ -1,0 +1,80 @@
+#include "codes/stripe.h"
+
+#include <cstring>
+
+namespace dcode::codes {
+
+Stripe::Stripe(const CodeLayout& layout, size_t element_size)
+    : layout_(&layout),
+      element_size_(element_size),
+      disk_size_(element_size * static_cast<size_t>(layout.rows())) {
+  DCODE_CHECK(element_size > 0, "element size must be positive");
+  disks_.reserve(static_cast<size_t>(layout.cols()));
+  for (int c = 0; c < layout.cols(); ++c) {
+    disks_.emplace_back(disk_size_);
+  }
+}
+
+uint8_t* Stripe::at(int row, int col) {
+  DCODE_CHECK(row >= 0 && row < layout_->rows(), "row out of range");
+  return disks_[static_cast<size_t>(col)].data() +
+         static_cast<size_t>(row) * element_size_;
+}
+
+const uint8_t* Stripe::at(int row, int col) const {
+  DCODE_CHECK(row >= 0 && row < layout_->rows(), "row out of range");
+  return disks_[static_cast<size_t>(col)].data() +
+         static_cast<size_t>(row) * element_size_;
+}
+
+uint8_t* Stripe::disk(int col) {
+  return disks_[static_cast<size_t>(col)].data();
+}
+const uint8_t* Stripe::disk(int col) const {
+  return disks_[static_cast<size_t>(col)].data();
+}
+
+void Stripe::randomize_data(Pcg32& rng) {
+  for (int i = 0; i < layout_->data_count(); ++i) {
+    Element e = layout_->data_element(i);
+    rng.fill_bytes(at(e), element_size_);
+  }
+}
+
+void Stripe::erase_disk(int col) {
+  disks_[static_cast<size_t>(col)].zero();
+}
+
+void Stripe::zero() {
+  for (auto& d : disks_) d.zero();
+}
+
+Stripe Stripe::clone() const {
+  Stripe copy(*layout_, element_size_);
+  for (int c = 0; c < layout_->cols(); ++c) {
+    std::memcpy(copy.disks_[static_cast<size_t>(c)].data(),
+                disks_[static_cast<size_t>(c)].data(), disk_size_);
+  }
+  return copy;
+}
+
+bool Stripe::data_equals(const Stripe& other) const {
+  if (layout_ != other.layout_ || element_size_ != other.element_size_)
+    return false;
+  for (int i = 0; i < layout_->data_count(); ++i) {
+    Element e = layout_->data_element(i);
+    if (std::memcmp(at(e), other.at(e), element_size_) != 0) return false;
+  }
+  return true;
+}
+
+bool Stripe::equals(const Stripe& other) const {
+  if (layout_ != other.layout_ || element_size_ != other.element_size_)
+    return false;
+  for (int c = 0; c < layout_->cols(); ++c) {
+    if (std::memcmp(disk(c), other.disk(c), disk_size_) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dcode::codes

@@ -1,0 +1,53 @@
+// Stripe: the byte storage behind one stripe of a layout.
+//
+// Storage is disk-major (one aligned buffer per column) because that is
+// how a RAID controller sees it: element (r, c) lives at offset
+// r * element_size on disk c. The view accessors return raw pointers so
+// the XOR kernels work in place with zero copies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "codes/code_layout.h"
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace dcode::codes {
+
+class Stripe {
+ public:
+  Stripe(const CodeLayout& layout, size_t element_size);
+
+  const CodeLayout& layout() const { return *layout_; }
+  size_t element_size() const { return element_size_; }
+
+  uint8_t* at(int row, int col);
+  const uint8_t* at(int row, int col) const;
+  uint8_t* at(Element e) { return at(e.row, e.col); }
+  const uint8_t* at(Element e) const { return at(e.row, e.col); }
+
+  uint8_t* disk(int col);
+  const uint8_t* disk(int col) const;
+  size_t disk_size() const { return disk_size_; }
+
+  // Fill every data element with pseudo-random bytes (tests/benches).
+  void randomize_data(Pcg32& rng);
+  // Zero one whole column, simulating a disk erasure.
+  void erase_disk(int col);
+  void zero();
+
+  // Deep copy (stripes are otherwise move-only via the buffers).
+  Stripe clone() const;
+
+  bool data_equals(const Stripe& other) const;
+  bool equals(const Stripe& other) const;
+
+ private:
+  const CodeLayout* layout_;
+  size_t element_size_;
+  size_t disk_size_;
+  std::vector<AlignedBuffer> disks_;
+};
+
+}  // namespace dcode::codes

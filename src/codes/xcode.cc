@@ -1,0 +1,41 @@
+#include "codes/xcode.h"
+
+#include "util/modmath.h"
+#include "util/primes.h"
+
+namespace dcode::codes {
+
+XCodeLayout::XCodeLayout(int p) : CodeLayout("xcode", p, p, p) {
+  DCODE_CHECK(is_prime(p), "X-Code requires a prime disk count");
+  DCODE_CHECK(p >= 5, "X-Code needs p >= 5");
+
+  for (int c = 0; c < p; ++c) {
+    set_kind(p - 2, c, ElementKind::kParityP);  // diagonal parity row
+    set_kind(p - 1, c, ElementKind::kParityQ);  // anti-diagonal parity row
+  }
+
+  // Diagonal family first (equations 0..p-1), then anti-diagonals
+  // (p..2p-1): family-major ordering, so "the first equation of an
+  // element" consistently means its primary family — the convention the
+  // conventional-recovery baseline and the D-Code chain decoder rely on.
+  for (int i = 0; i < p; ++i) {
+    std::vector<Element> diag;
+    diag.reserve(static_cast<size_t>(p - 2));
+    for (int j = 0; j <= p - 3; ++j) {
+      diag.push_back(make_element(j, pmod(i + j + 2, p)));
+    }
+    add_equation(make_element(p - 2, i), std::move(diag));
+  }
+  for (int i = 0; i < p; ++i) {
+    std::vector<Element> anti;
+    anti.reserve(static_cast<size_t>(p - 2));
+    for (int j = 0; j <= p - 3; ++j) {
+      anti.push_back(make_element(j, pmod(i - j - 2, p)));
+    }
+    add_equation(make_element(p - 1, i), std::move(anti));
+  }
+
+  finalize();
+}
+
+}  // namespace dcode::codes

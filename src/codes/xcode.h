@@ -1,0 +1,22 @@
+// X-Code (Xu & Bruck 1999): the vertical baseline D-Code is derived from.
+//
+// Stripe: p x p, p prime. Rows 0..p-3 hold data; row p-2 holds diagonal
+// parities and row p-1 anti-diagonal parities:
+//   E[p-2][i] = XOR_{j=0..p-3} E[j][(i+j+2) mod p]
+//   E[p-1][i] = XOR_{j=0..p-3} E[j][(i-j-2) mod p]
+// Parity is perfectly even (two per disk) and update complexity is the
+// optimal 2, but *consecutive* data elements land on different diagonals,
+// which is exactly the partial-stripe-write / degraded-read weakness the
+// D-Code paper attacks.
+#pragma once
+
+#include "codes/code_layout.h"
+
+namespace dcode::codes {
+
+class XCodeLayout final : public CodeLayout {
+ public:
+  explicit XCodeLayout(int p);
+};
+
+}  // namespace dcode::codes

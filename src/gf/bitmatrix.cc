@@ -1,0 +1,128 @@
+#include "gf/bitmatrix.h"
+
+#include <cstring>
+
+#include "xorops/xor_region.h"
+
+namespace dcode::gf {
+
+BitMatrix to_bitmatrix(const GaloisField& f, const Matrix& m) {
+  const int w = f.w();
+  BitMatrix bm;
+  bm.rows = m.rows() * w;
+  bm.cols = m.cols() * w;
+  bm.bits.assign(static_cast<size_t>(bm.rows) * bm.cols, 0);
+
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      uint32_t e = m.at(i, j);
+      // Column b of the w x w block is the bit pattern of e * x^b.
+      uint32_t v = e;
+      for (int b = 0; b < w; ++b) {
+        for (int r = 0; r < w; ++r) {
+          bm.at(i * w + r, j * w + b) = (v >> r) & 1u;
+        }
+        v = f.mul(v, 2);
+      }
+    }
+  }
+  return bm;
+}
+
+namespace {
+
+// Emit the ops for one output bit-row computed from scratch.
+void emit_row(const BitMatrix& bm, int row, int dst_device, int dst_bit,
+              int w, std::vector<ScheduleOp>* ops) {
+  bool first = true;
+  for (int c = 0; c < bm.cols; ++c) {
+    if (!bm.at(row, c)) continue;
+    ops->push_back(ScheduleOp{c / w, c % w, dst_device, dst_bit, first});
+    first = false;
+  }
+  DCODE_ASSERT(!first, "coding bit-row must have at least one input");
+}
+
+int row_weight(const BitMatrix& bm, int row) {
+  int weight = 0;
+  for (int c = 0; c < bm.cols; ++c) weight += bm.at(row, c);
+  return weight;
+}
+
+int row_distance(const BitMatrix& bm, int r1, int r2) {
+  int distance = 0;
+  for (int c = 0; c < bm.cols; ++c)
+    distance += bm.at(r1, c) != bm.at(r2, c);
+  return distance;
+}
+
+}  // namespace
+
+std::vector<ScheduleOp> dumb_schedule(const BitMatrix& bm, int k, int m,
+                                      int w) {
+  DCODE_CHECK(bm.rows == m * w && bm.cols == k * w,
+              "bitmatrix shape mismatch");
+  std::vector<ScheduleOp> ops;
+  for (int r = 0; r < bm.rows; ++r) {
+    emit_row(bm, r, r / w, r % w, w, &ops);
+  }
+  return ops;
+}
+
+std::vector<ScheduleOp> smart_schedule(const BitMatrix& bm, int k, int m,
+                                       int w) {
+  DCODE_CHECK(bm.rows == m * w && bm.cols == k * w,
+              "bitmatrix shape mismatch");
+  std::vector<ScheduleOp> ops;
+  for (int r = 0; r < bm.rows; ++r) {
+    const int dst_device = r / w;
+    const int dst_bit = r % w;
+    if (r % w == 0) {
+      // First row of an output device: nothing to derive from.
+      emit_row(bm, r, dst_device, dst_bit, w, &ops);
+      continue;
+    }
+    int weight = row_weight(bm, r);
+    int distance = row_distance(bm, r, r - 1);
+    if (distance + 1 < weight) {
+      // Derive from the previous bit-row of the same device: copy it, then
+      // XOR in only the differing columns.
+      ops.push_back(ScheduleOp{k + dst_device, dst_bit - 1, dst_device,
+                               dst_bit, true});
+      for (int c = 0; c < bm.cols; ++c) {
+        if (bm.at(r, c) != bm.at(r - 1, c)) {
+          ops.push_back(ScheduleOp{c / w, c % w, dst_device, dst_bit, false});
+        }
+      }
+    } else {
+      emit_row(bm, r, dst_device, dst_bit, w, &ops);
+    }
+  }
+  return ops;
+}
+
+void apply_schedule(const std::vector<ScheduleOp>& ops,
+                    const std::vector<const uint8_t*>& data,
+                    const std::vector<uint8_t*>& coding, int w, size_t size) {
+  DCODE_CHECK(size % static_cast<size_t>(w) == 0,
+              "buffer size must divide into w packets");
+  const size_t packet = size / static_cast<size_t>(w);
+  const int k = static_cast<int>(data.size());
+
+  auto src_ptr = [&](int device, int bit) -> const uint8_t* {
+    if (device < k) return data[device] + static_cast<size_t>(bit) * packet;
+    return coding[device - k] + static_cast<size_t>(bit) * packet;
+  };
+
+  for (const auto& op : ops) {
+    uint8_t* dst = coding[op.dst_device] + static_cast<size_t>(op.dst_bit) * packet;
+    const uint8_t* src = src_ptr(op.src_device, op.src_bit);
+    if (op.assign) {
+      std::memcpy(dst, src, packet);
+    } else {
+      xorops::xor_into(dst, src, packet);
+    }
+  }
+}
+
+}  // namespace dcode::gf

@@ -1,0 +1,62 @@
+// Bit-matrix (Cauchy Reed–Solomon) machinery, jerasure-style.
+//
+// A GF(2^w) coding matrix expands into a (m*w) x (k*w) matrix over GF(2):
+// each field entry e becomes the w x w binary matrix whose column j holds
+// the bits of e * x^j. Coding then needs only XORs of w "packets" per
+// element — no field multiplies — which is why Cauchy RS was the fast
+// general-purpose code of jerasure's era. We also implement jerasure's
+// "smart" scheduling: consecutive bit-rows usually differ in few positions,
+// so row r+1 is computed from row r with only the differing XORs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf_matrix.h"
+
+namespace dcode::gf {
+
+struct BitMatrix {
+  int rows = 0;  // total bit rows (m * w)
+  int cols = 0;  // total bit columns (k * w)
+  std::vector<uint8_t> bits;  // row-major, one byte per bit
+
+  uint8_t at(int r, int c) const {
+    return bits[static_cast<size_t>(r) * cols + c];
+  }
+  uint8_t& at(int r, int c) {
+    return bits[static_cast<size_t>(r) * cols + c];
+  }
+};
+
+// Expand a field matrix into its binary representation.
+BitMatrix to_bitmatrix(const GaloisField& f, const Matrix& m);
+
+// One XOR step of a coding schedule: dst_packet (op)= src_packet, where a
+// packet id is (device * w + bit_row). `assign` means copy instead of XOR
+// (the first source of each output row).
+struct ScheduleOp {
+  int src_device;
+  int src_bit;
+  int dst_device;
+  int dst_bit;
+  bool assign;
+};
+
+// Dumb schedule: every output bit row is the XOR of all its set inputs.
+std::vector<ScheduleOp> dumb_schedule(const BitMatrix& bm, int k, int m,
+                                      int w);
+
+// Smart schedule: compute row r from row r-1 when their Hamming distance
+// is smaller than row r's weight (jerasure's optimization).
+std::vector<ScheduleOp> smart_schedule(const BitMatrix& bm, int k, int m,
+                                       int w);
+
+// Execute a schedule. `data[d]` and `coding[c]` are element buffers of
+// `size` bytes; size must be divisible by w * packet, with packet =
+// size / w rounded — we require size % w == 0 and use packet = size / w.
+void apply_schedule(const std::vector<ScheduleOp>& ops,
+                    const std::vector<const uint8_t*>& data,
+                    const std::vector<uint8_t*>& coding, int w, size_t size);
+
+}  // namespace dcode::gf

@@ -1,0 +1,136 @@
+#include "gf/gf.h"
+
+#include <cstring>
+
+namespace dcode::gf {
+
+GaloisField::GaloisField(int w) : w_(w) {
+  DCODE_CHECK(w == 4 || w == 8 || w == 16, "supported word sizes: 4, 8, 16");
+  field_size_ = 1u << w;
+  uint32_t poly = w == 4 ? kPrimitivePoly4
+                 : w == 8 ? kPrimitivePoly8
+                          : kPrimitivePoly16;
+  build_tables(poly);
+
+  if (w == 8) {
+    mul8_.assign(256 * 256, 0);
+    for (uint32_t a = 1; a < 256; ++a) {
+      for (uint32_t b = 1; b < 256; ++b) {
+        mul8_[(a << 8) | b] = static_cast<uint8_t>(mul(a, b));
+      }
+    }
+  }
+}
+
+void GaloisField::build_tables(uint32_t prim_poly) {
+  const uint32_t order = field_size_ - 1;
+  log_.assign(field_size_, 0);
+  antilog_.assign(2 * order, 0);
+
+  uint32_t v = 1;
+  for (uint32_t e = 0; e < order; ++e) {
+    antilog_[e] = v;
+    antilog_[e + order] = v;  // doubled so mul() needs no modulo
+    log_[v] = static_cast<int>(e);
+    v <<= 1;
+    if (v & field_size_) v ^= prim_poly;
+  }
+  DCODE_ASSERT(v == 1, "primitive polynomial must generate the full group");
+}
+
+uint32_t GaloisField::pow(uint32_t a, uint32_t e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  uint64_t l = static_cast<uint64_t>(log_[a]) * e % (field_size_ - 1);
+  return antilog_[l];
+}
+
+void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
+                             size_t len, bool accumulate) const {
+  DCODE_CHECK(c <= max_element(), "constant outside the field");
+  if (c == 0) {
+    if (!accumulate) std::memset(dst, 0, len);
+    return;
+  }
+  if (c == 1) {
+    if (accumulate) {
+      for (size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    } else {
+      std::memcpy(dst, src, len);
+    }
+    return;
+  }
+
+  switch (w_) {
+    case 8: {
+      const uint8_t* row = &mul8_[c << 8];
+      if (accumulate) {
+        for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+      } else {
+        for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+      }
+      break;
+    }
+    case 4: {
+      // Two 4-bit elements per byte, multiplied independently.
+      for (size_t i = 0; i < len; ++i) {
+        uint32_t lo = src[i] & 0x0f;
+        uint32_t hi = (src[i] >> 4) & 0x0f;
+        uint8_t out = static_cast<uint8_t>(mul(lo, c) | (mul(hi, c) << 4));
+        if (accumulate) {
+          dst[i] ^= out;
+        } else {
+          dst[i] = out;
+        }
+      }
+      break;
+    }
+    case 16: {
+      DCODE_CHECK(len % 2 == 0, "w=16 regions must be even-length");
+      for (size_t i = 0; i < len; i += 2) {
+        uint32_t e = static_cast<uint32_t>(src[i]) |
+                     (static_cast<uint32_t>(src[i + 1]) << 8);
+        uint32_t out = mul(e, c);
+        if (accumulate) {
+          dst[i] ^= static_cast<uint8_t>(out);
+          dst[i + 1] ^= static_cast<uint8_t>(out >> 8);
+        } else {
+          dst[i] = static_cast<uint8_t>(out);
+          dst[i + 1] = static_cast<uint8_t>(out >> 8);
+        }
+      }
+      break;
+    }
+    default:
+      DCODE_ASSERT(false, "unreachable word size");
+  }
+}
+
+const GaloisField& gf4() {
+  static const GaloisField f(4);
+  return f;
+}
+const GaloisField& gf8() {
+  static const GaloisField f(8);
+  return f;
+}
+const GaloisField& gf16() {
+  static const GaloisField f(16);
+  return f;
+}
+const GaloisField& field_for(int w) {
+  switch (w) {
+    case 4:
+      return gf4();
+    case 8:
+      return gf8();
+    case 16:
+      return gf16();
+    default:
+      DCODE_CHECK(false, "supported word sizes: 4, 8, 16");
+  }
+  // unreachable
+  return gf8();
+}
+
+}  // namespace dcode::gf

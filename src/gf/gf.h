@@ -1,0 +1,84 @@
+// GF(2^w) arithmetic for w in {4, 8, 16}.
+//
+// The Reed–Solomon baselines (the role Jerasure 1.2 plays in the paper)
+// need finite-field multiplication. We build log/antilog tables at
+// construction from the standard primitive polynomials, plus a full
+// 256x256 product table for w=8 so the hot region-multiply loop is a
+// single lookup per byte. The class is immutable after construction and
+// safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcode::gf {
+
+// Primitive polynomials (including the x^w term) used by virtually every
+// storage coding library, so our codewords match common test vectors.
+constexpr uint32_t kPrimitivePoly4 = 0x13;      // x^4 + x + 1
+constexpr uint32_t kPrimitivePoly8 = 0x11d;     // x^8 + x^4 + x^3 + x^2 + 1
+constexpr uint32_t kPrimitivePoly16 = 0x1100b;  // x^16 + x^12 + x^3 + x + 1
+
+class GaloisField {
+ public:
+  explicit GaloisField(int w);
+
+  int w() const { return w_; }
+  uint32_t size() const { return field_size_; }          // 2^w
+  uint32_t max_element() const { return field_size_ - 1; }
+
+  uint32_t add(uint32_t a, uint32_t b) const { return a ^ b; }
+
+  uint32_t mul(uint32_t a, uint32_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return antilog_[log_[a] + log_[b]];
+  }
+
+  uint32_t div(uint32_t a, uint32_t b) const {
+    DCODE_CHECK(b != 0, "division by zero in GF(2^w)");
+    if (a == 0) return 0;
+    int d = log_[a] - log_[b];
+    if (d < 0) d += static_cast<int>(field_size_) - 1;
+    return antilog_[d];
+  }
+
+  uint32_t inverse(uint32_t a) const { return div(1, a); }
+
+  // alpha^e where alpha is the primitive element (polynomial x).
+  uint32_t exp(uint32_t e) const {
+    return antilog_[e % (field_size_ - 1)];
+  }
+
+  uint32_t log(uint32_t a) const {
+    DCODE_CHECK(a != 0, "log of zero in GF(2^w)");
+    return static_cast<uint32_t>(log_[a]);
+  }
+
+  uint32_t pow(uint32_t a, uint32_t e) const;
+
+  // dst[i] (op)= c * src[i] over `len` bytes, interpreting the buffers as
+  // packed field elements (w=8: bytes; w=16: little-endian uint16; w=4:
+  // two elements per byte). If `accumulate`, XORs into dst, else assigns.
+  // len must be a multiple of the element byte width (1 for w=4/8).
+  void mul_region(uint8_t* dst, const uint8_t* src, uint32_t c, size_t len,
+                  bool accumulate) const;
+
+ private:
+  void build_tables(uint32_t prim_poly);
+
+  int w_;
+  uint32_t field_size_;
+  std::vector<int> log_;          // log_[a], a in [1, 2^w)
+  std::vector<uint32_t> antilog_; // antilog_[e], e in [0, 2*(2^w-1))
+  std::vector<uint8_t> mul8_;     // full product table, w=8 only
+};
+
+// Shared singletons (tables are expensive to rebuild per codec).
+const GaloisField& gf4();
+const GaloisField& gf8();
+const GaloisField& gf16();
+const GaloisField& field_for(int w);
+
+}  // namespace dcode::gf

@@ -1,0 +1,140 @@
+#include "gf/gf_matrix.h"
+
+namespace dcode::gf {
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix multiply(const GaloisField& f, const Matrix& a, const Matrix& b) {
+  DCODE_CHECK(a.cols() == b.rows(), "dimension mismatch in matrix multiply");
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int l = 0; l < a.cols(); ++l) {
+      uint32_t av = a.at(i, l);
+      if (av == 0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        c.at(i, j) ^= f.mul(av, b.at(l, j));
+      }
+    }
+  }
+  return c;
+}
+
+bool invert(const GaloisField& f, const Matrix& m, Matrix* out) {
+  DCODE_CHECK(m.rows() == m.cols(), "only square matrices invert");
+  const int n = m.rows();
+  Matrix a = m;
+  Matrix inv = Matrix::identity(n);
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return false;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize the pivot row.
+    uint32_t d = a.at(col, col);
+    if (d != 1) {
+      uint32_t dinv = f.inverse(d);
+      for (int c = 0; c < n; ++c) {
+        a.at(col, c) = f.mul(a.at(col, c), dinv);
+        inv.at(col, c) = f.mul(inv.at(col, c), dinv);
+      }
+    }
+    // Eliminate everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      uint32_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        a.at(r, c) ^= f.mul(factor, a.at(col, c));
+        inv.at(r, c) ^= f.mul(factor, inv.at(col, c));
+      }
+    }
+  }
+  *out = std::move(inv);
+  return true;
+}
+
+Matrix cauchy_coding_matrix(const GaloisField& f, int k, int m) {
+  DCODE_CHECK(k > 0 && m > 0, "k and m must be positive");
+  DCODE_CHECK(static_cast<uint32_t>(k + m) <= f.size(),
+              "k + m exceeds the field size");
+  Matrix c(m, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      uint32_t xi = static_cast<uint32_t>(i + k);
+      uint32_t yj = static_cast<uint32_t>(j);
+      c.at(i, j) = f.inverse(xi ^ yj);
+    }
+  }
+  return c;
+}
+
+Matrix vandermonde_coding_matrix(const GaloisField& f, int k, int m) {
+  DCODE_CHECK(k > 0 && m > 0, "k and m must be positive");
+  DCODE_CHECK(static_cast<uint32_t>(k + m) <= f.size(),
+              "k + m exceeds the field size");
+
+  // Rows i of the raw (k+m) x k Vandermonde matrix: [i^0, i^1, ..., i^(k-1)]
+  // with the convention 0^0 = 1.
+  Matrix v(k + m, k);
+  for (int i = 0; i < k + m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      v.at(i, j) = f.pow(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+
+  // Distill: column operations that turn the top k x k block into identity
+  // preserve the MDS property (they multiply by an invertible matrix on the
+  // right). This mirrors jerasure's vandermonde -> systematic conversion.
+  for (int col = 0; col < k; ++col) {
+    // Ensure v[col][col] != 0 by swapping columns if needed.
+    if (v.at(col, col) == 0) {
+      int swap_col = -1;
+      for (int c = col + 1; c < k; ++c) {
+        if (v.at(col, c) != 0) {
+          swap_col = c;
+          break;
+        }
+      }
+      DCODE_ASSERT(swap_col >= 0, "Vandermonde block must be nonsingular");
+      for (int r = 0; r < k + m; ++r) std::swap(v.at(r, col), v.at(r, swap_col));
+    }
+    // Scale the column so the diagonal entry is 1.
+    uint32_t dinv = f.inverse(v.at(col, col));
+    if (dinv != 1) {
+      for (int r = 0; r < k + m; ++r) v.at(r, col) = f.mul(v.at(r, col), dinv);
+    }
+    // Zero the rest of row `col` with column operations.
+    for (int c = 0; c < k; ++c) {
+      if (c == col) continue;
+      uint32_t factor = v.at(col, c);
+      if (factor == 0) continue;
+      for (int r = 0; r < k + m; ++r) {
+        v.at(r, c) ^= f.mul(factor, v.at(r, col));
+      }
+    }
+  }
+
+  Matrix out(m, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) out.at(i, j) = v.at(k + i, j);
+  }
+  return out;
+}
+
+}  // namespace dcode::gf

@@ -1,0 +1,72 @@
+// Dense matrices over GF(2^w): the linear-algebra layer under the
+// Reed–Solomon codecs.
+//
+// A codec's generator is a (k+m) x k matrix whose top k rows are the
+// identity (systematic form); decoding inverts the k x k submatrix of
+// surviving rows. Cauchy generators are used because *every* square
+// submatrix of a Cauchy matrix is invertible, which makes the code MDS by
+// construction; Vandermonde generators are provided in jerasure's
+// "distilled" systematic form for compatibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf.h"
+
+namespace dcode::gf {
+
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, 0) {
+    DCODE_CHECK(rows >= 0 && cols >= 0, "negative matrix dimensions");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  uint32_t& at(int r, int c) {
+    DCODE_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  uint32_t at(int r, int c) const {
+    DCODE_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                 "matrix index out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  const uint32_t* row(int r) const {
+    return &data_[static_cast<size_t>(r) * cols_];
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+  static Matrix identity(int n);
+
+ private:
+  int rows_, cols_;
+  std::vector<uint32_t> data_;
+};
+
+// C = A * B over the field.
+Matrix multiply(const GaloisField& f, const Matrix& a, const Matrix& b);
+
+// Gauss–Jordan inverse. Returns false (and leaves `out` unspecified) if the
+// matrix is singular.
+bool invert(const GaloisField& f, const Matrix& m, Matrix* out);
+
+// m x k Cauchy coding matrix: entry (i, j) = 1 / (x_i + y_j) with
+// x_i = i + k, y_j = j. Requires k + m <= 2^w. Every square submatrix of
+// the stacked [I; C] generator is invertible, so the resulting code is MDS.
+Matrix cauchy_coding_matrix(const GaloisField& f, int k, int m);
+
+// m x k systematic Vandermonde coding matrix, distilled the same way
+// jerasure does it: build the (k+m) x k Vandermonde matrix, reduce the top
+// block to identity with column operations, return the bottom m rows.
+Matrix vandermonde_coding_matrix(const GaloisField& f, int k, int m);
+
+}  // namespace dcode::gf

@@ -1,0 +1,47 @@
+// IoPlan: the exact element-level disk accesses an operation performs.
+//
+// Planners translate logical operations (read / partial-stripe write /
+// degraded read / rebuild) into IoPlans. The same plan objects drive
+//   * the counting experiments (Figures 4 & 5: per-disk access tallies),
+//   * the timing experiments (Figures 6 & 7: the disk service-time model),
+//   * and the byte-level Raid6Array execution,
+// so the three views of "how much I/O does this code do" cannot diverge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/element.h"
+
+namespace dcode::raid {
+
+struct IoAccess {
+  int64_t stripe = 0;
+  codes::Element element;  // logical position within the stripe layout
+  int disk = 0;            // physical disk (after any rotation)
+  bool is_write = false;
+};
+
+// How a lost element is rebuilt: XOR of every other member of `equation`.
+struct Reconstruction {
+  int64_t stripe = 0;
+  codes::Element target;
+  int equation = -1;  // index into layout.equations()
+};
+
+struct IoPlan {
+  std::vector<IoAccess> accesses;
+  std::vector<Reconstruction> reconstructions;  // degraded reads / rebuilds
+
+  int64_t reads() const {
+    int64_t n = 0;
+    for (const auto& a : accesses) n += a.is_write ? 0 : 1;
+    return n;
+  }
+  int64_t writes() const {
+    return static_cast<int64_t>(accesses.size()) - reads();
+  }
+  int64_t total() const { return static_cast<int64_t>(accesses.size()); }
+};
+
+}  // namespace dcode::raid

@@ -1,0 +1,86 @@
+// Write-intent journal: closing the RAID write hole.
+//
+// A partial-stripe write touches a data element and its parities in
+// separate disk writes; power loss between them leaves the stripe's
+// parity stale — silent corruption that only surfaces when a later disk
+// failure reconstructs garbage. The standard fix is write-ahead intent
+// logging: persist "stripe S is being modified" *before* touching it and
+// clear the record after the last parity lands. Crash recovery then
+// re-encodes exactly the stripes with open intent records.
+//
+// The journal models the persistent intent area of a controller's NVRAM:
+// a fixed array of slots surviving a crash (in this simulation, an
+// in-memory buffer that crash injection never clears). Slots are a hard
+// resource — begin() throws when the journal is full, the same
+// backpressure a real controller applies.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcode::raid {
+
+class WriteIntentJournal {
+ public:
+  explicit WriteIntentJournal(int slots = 64)
+      : slots_(static_cast<size_t>(slots), kEmpty) {
+    DCODE_CHECK(slots > 0, "journal needs at least one slot");
+  }
+
+  // Marks `stripe` dirty. Idempotent for an already-open stripe. Throws
+  // when every slot is taken (caller must commit earlier writes first).
+  void begin(int64_t stripe) {
+    int free_slot = -1;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i] == stripe) return;  // already open
+      if (slots_[i] == kEmpty && free_slot < 0) free_slot = static_cast<int>(i);
+    }
+    DCODE_CHECK(free_slot >= 0, "write-intent journal full");
+    slots_[static_cast<size_t>(free_slot)] = stripe;
+  }
+
+  // Clears the intent record after the stripe's parity is durable.
+  void commit(int64_t stripe) {
+    for (auto& s : slots_) {
+      if (s == stripe) {
+        s = kEmpty;
+        return;
+      }
+    }
+    // Committing a stripe that was never begun is a logic error in the
+    // array layer.
+    DCODE_CHECK(false, "commit without matching begin");
+  }
+
+  // Stripes with open intents — exactly what crash recovery must scrub.
+  std::vector<int64_t> open_stripes() const {
+    std::vector<int64_t> out;
+    for (int64_t s : slots_) {
+      if (s != kEmpty) out.push_back(s);
+    }
+    return out;
+  }
+
+  bool empty() const { return open_stripes().empty(); }
+  int capacity() const { return static_cast<int>(slots_.size()); }
+
+  void clear() {
+    for (auto& s : slots_) s = kEmpty;
+  }
+
+ private:
+  static constexpr int64_t kEmpty = -1;
+  std::vector<int64_t> slots_;
+};
+
+// Thrown when injected power loss interrupts an array operation. Disk
+// contents written so far persist; the operation did not complete.
+class PowerLossError : public std::runtime_error {
+ public:
+  PowerLossError() : std::runtime_error("injected power loss") {}
+};
+
+}  // namespace dcode::raid

@@ -1,0 +1,111 @@
+// MemDisk: an in-memory, fault-injectable disk.
+//
+// Substitute for the paper's 16-disk SAS array (see DESIGN.md §4): byte
+// storage plus the two things the experiments need from a disk — failure
+// injection and per-disk access accounting. Reads/writes to a failed disk
+// throw DiskFailedError, which is how the array layer notices it must
+// reconstruct.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/aligned_buffer.h"
+#include "util/rng.h"
+
+namespace dcode::raid {
+
+class DiskFailedError : public std::runtime_error {
+ public:
+  explicit DiskFailedError(int disk)
+      : std::runtime_error("disk " + std::to_string(disk) + " has failed"),
+        disk_(disk) {}
+  int disk() const { return disk_; }
+
+ private:
+  int disk_;
+};
+
+class MemDisk {
+ public:
+  MemDisk(int id, size_t size) : id_(id), storage_(size) {}
+
+  int id() const { return id_; }
+  size_t size() const { return storage_.size(); }
+  bool failed() const { return failed_; }
+
+  void read(size_t offset, std::span<uint8_t> out) const {
+    if (failed_) throw DiskFailedError(id_);
+    DCODE_CHECK(offset + out.size() <= storage_.size(),
+                "read past end of disk");
+    std::memcpy(out.data(), storage_.data() + offset, out.size());
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    bytes_read_.fetch_add(static_cast<int64_t>(out.size()),
+                          std::memory_order_relaxed);
+  }
+
+  void write(size_t offset, std::span<const uint8_t> in) {
+    if (failed_) throw DiskFailedError(id_);
+    DCODE_CHECK(offset + in.size() <= storage_.size(),
+                "write past end of disk");
+    std::memcpy(storage_.data() + offset, in.data(), in.size());
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(static_cast<int64_t>(in.size()),
+                             std::memory_order_relaxed);
+  }
+
+  // Failure injection. fail() keeps the bytes (a controller cannot see
+  // them anyway); replace() simulates swapping in a blank disk.
+  void fail() { failed_ = true; }
+  void replace() {
+    storage_.zero();
+    failed_ = false;
+  }
+
+  // Silent data corruption for scrub tests: flips bytes without the disk
+  // reporting any error.
+  void corrupt(size_t offset, size_t len, Pcg32& rng) {
+    DCODE_CHECK(offset + len <= storage_.size(), "corrupt past end of disk");
+    for (size_t i = 0; i < len; ++i) {
+      storage_[offset + i] ^= static_cast<uint8_t>(rng.next_u32() | 1);
+    }
+  }
+
+  // Accounting. Counters are relaxed atomics (rebuild touches disks from
+  // the thread pool) and mutable so const reads still count, like a real
+  // bus trace.
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+  }
+
+  // Direct storage access for rebuild fast paths (counts as one access per
+  // caller-declared element; see Raid6Array::rebuild).
+  uint8_t* raw() { return storage_.data(); }
+  const uint8_t* raw() const { return storage_.data(); }
+
+ private:
+  int id_;
+  AlignedBuffer storage_;
+  bool failed_ = false;
+  mutable std::atomic<int64_t> reads_{0};
+  mutable std::atomic<int64_t> writes_{0};
+  mutable std::atomic<int64_t> bytes_read_{0};
+  mutable std::atomic<int64_t> bytes_written_{0};
+};
+
+}  // namespace dcode::raid

@@ -1,0 +1,81 @@
+// IoPlanner: logical operations -> element-level I/O plans.
+//
+// This is where the codes' I/O-load differences actually arise:
+//
+//  * plan_read — one read per requested element; parity disks contribute
+//    nothing (the horizontal codes' normal-read weakness).
+//  * plan_write — partial stripe write. Computes the *dirty parity
+//    closure* (a data update dirties its parities; a dirty parity dirties
+//    any parity whose equation contains it, e.g. RDP's diagonals covering
+//    the row parities and HDP's anti-diagonals covering the horizontal
+//    parities), then takes the cheaper of
+//      RMW (read-modify-write): read old data + old dirty parities,
+//          write new data + new parities;
+//      RCW (reconstruct-write): read the untouched sources of every dirty
+//          equation, recompute parities outright.
+//    Sharing a horizontal parity across consecutive elements is exactly
+//    what makes D-Code / RDP / H-Code cheap here and X-Code / HDP dear
+//    (paper Figure 5).
+//  * plan_degraded_read — surviving requested elements are read directly;
+//    each lost one picks the reconstruction equation with the smallest
+//    number of *additional* reads given everything already in the plan
+//    (greedy, in logical order). Consecutive lost elements sharing a
+//    horizontal parity re-use each other's reads — D-Code's degraded-read
+//    edge over X-Code (paper Figure 7).
+//
+// Counting convention: one access = one element read or written, the
+// papers' unit. `times` multipliers from <S, L, T> tuples are applied by
+// the simulator when accumulating stats, not by expanding plans.
+#pragma once
+
+#include <span>
+
+#include "raid/address_map.h"
+#include "raid/io_plan.h"
+
+namespace dcode::raid {
+
+enum class WritePolicy { kAuto, kReadModifyWrite, kReconstructWrite };
+
+class IoPlanner {
+ public:
+  explicit IoPlanner(const AddressMap& map) : map_(&map) {}
+
+  // Normal-mode read of `len` consecutive logical data elements.
+  IoPlan plan_read(int64_t start, int len) const;
+
+  // Healthy-mode partial stripe write of `len` consecutive elements.
+  IoPlan plan_write(int64_t start, int len,
+                    WritePolicy policy = WritePolicy::kAuto) const;
+
+  // Partial stripe write while disks are failed. Unaffected stripes plan
+  // like healthy writes; a stripe touching a failed disk uses the
+  // stripe-rewrite policy the byte-level array implements: read every
+  // surviving element, reconstruct, then write the touched surviving data
+  // plus every surviving parity. (The paper evaluates degraded *reads*
+  // only; this extends the load experiments to degraded writes.)
+  IoPlan plan_degraded_write(int64_t start, int len,
+                             std::span<const int> failed_disks) const;
+
+  // Read under failed disks. Single-disk failures use per-element greedy
+  // equation selection. With two failed disks, elements whose every
+  // equation also crosses the other failed disk are rebuilt through
+  // *recovery chains* (the §III-C structure): the planner computes the
+  // stripe's peeling schedule and pulls in exactly the chain prefix the
+  // requested elements depend on — far less I/O than decoding the whole
+  // stripe. Codes whose double failures do not peel (EVENODD,
+  // liberation) fall back to a full-stripe decode.
+  IoPlan plan_degraded_read(int64_t start, int len,
+                            std::span<const int> failed_disks) const;
+
+ private:
+  const AddressMap* map_;
+};
+
+// The set of parity equations a write to `written` data elements must
+// refresh, in topological order (closure over parity-in-parity coverage).
+// Exposed for tests and the update-complexity bench.
+std::vector<int> dirty_parity_closure(const codes::CodeLayout& layout,
+                                      std::span<const codes::Element> written);
+
+}  // namespace dcode::raid

@@ -1,0 +1,526 @@
+#include "raid/raid6_array.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "codes/decoder.h"
+#include "codes/dcode_decoder.h"
+#include "codes/encoder.h"
+#include "codes/stripe.h"
+#include "raid/recovery.h"
+#include "xorops/xor_region.h"
+
+namespace dcode::raid {
+
+using codes::CodeLayout;
+using codes::Element;
+using codes::Equation;
+using codes::Stripe;
+
+Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
+                       size_t element_size, int64_t stripes, unsigned threads)
+    : layout_(std::move(layout)),
+      element_size_(element_size),
+      stripes_(stripes),
+      map_(*layout_),
+      planner_(map_),
+      pool_(threads) {
+  DCODE_CHECK(element_size_ > 0, "element size must be positive");
+  DCODE_CHECK(stripes_ > 0, "array needs at least one stripe");
+  size_t disk_size =
+      static_cast<size_t>(stripes_) * layout_->rows() * element_size_;
+  for (int d = 0; d < layout_->cols(); ++d) {
+    disks_.push_back(std::make_unique<MemDisk>(d, disk_size));
+  }
+  needs_rebuild_.assign(static_cast<size_t>(layout_->cols()), false);
+}
+
+void Raid6Array::ensure_online() const {
+  if (crashed_.load(std::memory_order_relaxed)) throw PowerLossError();
+}
+
+void Raid6Array::consume_write_budget() {
+  ensure_online();
+  if (crash_countdown_.load(std::memory_order_relaxed) >= 0) {
+    if (crash_countdown_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      crashed_.store(true, std::memory_order_relaxed);
+      throw PowerLossError();
+    }
+  }
+}
+
+void Raid6Array::write_element(int disk, int64_t stripe, int row,
+                               std::span<const uint8_t> data) {
+  consume_write_budget();
+  disks_[static_cast<size_t>(disk)]->write(element_offset(stripe, row), data);
+}
+
+void Raid6Array::enable_journal(int slots) {
+  DCODE_CHECK(!journal_, "journal already enabled");
+  journal_.emplace(slots);
+}
+
+void Raid6Array::inject_power_loss_after(int64_t element_writes) {
+  DCODE_CHECK(element_writes >= 0, "write budget must be non-negative");
+  crash_countdown_.store(element_writes, std::memory_order_relaxed);
+}
+
+void Raid6Array::restart() {
+  crashed_.store(false, std::memory_order_relaxed);
+  crash_countdown_.store(-1, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Raid6Array::journal_open_stripes() const {
+  DCODE_CHECK(journal_.has_value(), "journal not enabled");
+  return journal_->open_stripes();
+}
+
+int64_t Raid6Array::journal_recover() {
+  ensure_online();
+  DCODE_CHECK(journal_.has_value(), "journal not enabled");
+  DCODE_CHECK(failed_disk_count() == 0,
+              "journal recovery requires a healthy array");
+  const CodeLayout& layout = *layout_;
+  int64_t repaired = 0;
+  for (int64_t stripe : journal_->open_stripes()) {
+    // Re-encode parity from whatever data survived the crash: every data
+    // element is individually consistent (element writes are atomic), so
+    // a fresh encode restores the stripe invariant.
+    Stripe s(layout, element_size_);
+    for (int c = 0; c < layout.cols(); ++c) {
+      for (int r = 0; r < layout.rows(); ++r) {
+        disks_[static_cast<size_t>(c)]->read(
+            element_offset(stripe, r),
+            std::span<uint8_t>(s.at(r, c), element_size_));
+      }
+    }
+    codes::encode_stripe(s);
+    for (const Equation& q : layout.equations()) {
+      write_element(q.parity.col, stripe, q.parity.row,
+                    std::span<const uint8_t>(s.at(q.parity), element_size_));
+    }
+    journal_->commit(stripe);
+    ++repaired;
+  }
+  return repaired;
+}
+
+int Raid6Array::failed_disk_count() const {
+  int n = 0;
+  for (const auto& d : disks_) n += d->failed() ? 1 : 0;
+  return n;
+}
+
+void Raid6Array::reset_stats() {
+  for (auto& d : disks_) d->reset_stats();
+}
+
+void Raid6Array::add_hot_spares(int count) {
+  DCODE_CHECK(count >= 0, "spare count must be non-negative");
+  hot_spares_ += count;
+}
+
+void Raid6Array::fail_disk(int disk) {
+  DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
+  disks_[static_cast<size_t>(disk)]->fail();
+  if (hot_spares_ > 0) {
+    --hot_spares_;
+    disks_[static_cast<size_t>(disk)]->replace();
+    needs_rebuild_[static_cast<size_t>(disk)] = true;
+    rebuild();
+  }
+}
+
+void Raid6Array::replace_disk(int disk) {
+  DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
+  DCODE_CHECK(disks_[static_cast<size_t>(disk)]->failed(),
+              "only failed disks can be replaced");
+  disks_[static_cast<size_t>(disk)]->replace();
+  needs_rebuild_[static_cast<size_t>(disk)] = true;
+}
+
+void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
+  const CodeLayout& layout = *layout_;
+  std::vector<Element> lost;
+  for (int c = 0; c < layout.cols(); ++c) {
+    bool dead = disks_[static_cast<size_t>(c)]->failed() ||
+                needs_rebuild_[static_cast<size_t>(c)];
+    for (int r = 0; r < layout.rows(); ++r) {
+      if (dead) {
+        lost.push_back(codes::make_element(r, c));
+      } else {
+        disks_[static_cast<size_t>(c)]->read(
+            element_offset(stripe, r),
+            std::span<uint8_t>(out.at(r, c), element_size_));
+      }
+    }
+  }
+  if (!lost.empty()) {
+    auto res = codes::hybrid_decode(out, lost);
+    DCODE_CHECK(res.success, "stripe unrecoverable (more than two failures)");
+  }
+}
+
+void Raid6Array::store_stripe(int64_t stripe, const Stripe& in) {
+  for (int c = 0; c < layout_->cols(); ++c) {
+    if (disks_[static_cast<size_t>(c)]->failed()) continue;
+    for (int r = 0; r < layout_->rows(); ++r) {
+      write_element(c, stripe, r,
+                    std::span<const uint8_t>(in.at(r, c), element_size_));
+    }
+  }
+}
+
+void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
+  ensure_online();
+  DCODE_CHECK(offset >= 0 && offset + static_cast<int64_t>(data.size()) <=
+                                 capacity(),
+              "write outside the array's data space");
+  if (data.empty()) return;
+  const CodeLayout& layout = *layout_;
+  const int64_t esize = static_cast<int64_t>(element_size_);
+  const int64_t first = offset / esize;
+  const int64_t last = (offset + static_cast<int64_t>(data.size()) - 1) / esize;
+
+  const bool degraded = failed_disk_count() > 0 ||
+                        std::any_of(needs_rebuild_.begin(),
+                                    needs_rebuild_.end(),
+                                    [](bool b) { return b; });
+
+  // Per-element overlay: [start, end) bytes of element g come from `data`.
+  auto overlay_range = [&](int64_t g, size_t* elem_begin, size_t* src_begin,
+                           size_t* len) {
+    int64_t elem_start = g * esize;
+    int64_t lo = std::max<int64_t>(offset, elem_start);
+    int64_t hi = std::min<int64_t>(offset + static_cast<int64_t>(data.size()),
+                                   elem_start + esize);
+    *elem_begin = static_cast<size_t>(lo - elem_start);
+    *src_begin = static_cast<size_t>(lo - offset);
+    *len = static_cast<size_t>(hi - lo);
+  };
+
+  // Group the touched elements by stripe.
+  int64_t g = first;
+  while (g <= last) {
+    const int64_t stripe = g / layout.data_count();
+    const int64_t stripe_end =
+        std::min(last, (stripe + 1) * layout.data_count() - 1);
+
+    // Write-ahead intent record: must be durable before the first element
+    // write of this stripe (itself consumes write budget, so an injected
+    // crash can land on either side of it — both sides are safe).
+    if (journal_) {
+      consume_write_budget();
+      journal_->begin(stripe);
+    }
+
+    if (degraded) {
+      // Stripe-rewrite policy: reconstruct, modify, re-encode, then write
+      // back only the touched surviving data elements plus every
+      // surviving parity (untouched data is already on disk).
+      Stripe s(layout, element_size_);
+      load_stripe_degraded(stripe, s);
+      std::set<Element> touched;
+      for (int64_t e = g; e <= stripe_end; ++e) {
+        auto loc = map_.locate(e);
+        size_t eb, sb, len;
+        overlay_range(e, &eb, &sb, &len);
+        std::memcpy(s.at(loc.element) + eb, data.data() + sb, len);
+        touched.insert(loc.element);
+      }
+      codes::encode_stripe(s);
+      for (int r = 0; r < layout.rows(); ++r) {
+        for (int c = 0; c < layout.cols(); ++c) {
+          int pdisk = map_.physical_disk(stripe, c);
+          if (disks_[static_cast<size_t>(pdisk)]->failed() ||
+              needs_rebuild_[static_cast<size_t>(pdisk)]) {
+            continue;
+          }
+          Element e = codes::make_element(r, c);
+          if (layout.is_parity(r, c) || touched.count(e)) {
+            write_element(pdisk, stripe, r,
+                          std::span<const uint8_t>(s.at(r, c),
+                                                   element_size_));
+          }
+        }
+      }
+      if (journal_) {
+        consume_write_budget();
+        journal_->commit(stripe);
+      }
+      g = stripe_end + 1;
+      continue;
+    }
+
+    // Healthy path: delta-based read-modify-write.
+    std::vector<Element> written;
+    std::map<Element, AlignedBuffer> delta;  // old ^ new per element
+    for (int64_t e = g; e <= stripe_end; ++e) {
+      auto loc = map_.locate(e);
+      size_t eb, sb, len;
+      overlay_range(e, &eb, &sb, &len);
+
+      AlignedBuffer old(element_size_);
+      MemDisk& d = *disks_[static_cast<size_t>(loc.disk)];
+      d.read(element_offset(stripe, loc.element.row),
+             std::span<uint8_t>(old.data(), element_size_));
+
+      AlignedBuffer fresh(element_size_);
+      std::memcpy(fresh.data(), old.data(), element_size_);
+      std::memcpy(fresh.data() + eb, data.data() + sb, len);
+
+      AlignedBuffer dbuf(element_size_);
+      xorops::xor_assign(dbuf.data(), old.data(), fresh.data(),
+                         element_size_);
+      write_element(loc.disk, stripe, loc.element.row,
+                    std::span<const uint8_t>(fresh.data(), element_size_));
+      written.push_back(loc.element);
+      delta.emplace(loc.element, std::move(dbuf));
+    }
+
+    // Propagate deltas through the dirty parity closure in topo order.
+    for (int qi : dirty_parity_closure(layout, written)) {
+      const Equation& q = layout.equations()[static_cast<size_t>(qi)];
+      AlignedBuffer pdelta(element_size_);
+      for (const Element& src : q.sources) {
+        auto it = delta.find(src);
+        if (it != delta.end()) {
+          xorops::xor_into(pdelta.data(), it->second.data(), element_size_);
+        }
+      }
+      int pdisk = map_.physical_disk(stripe, q.parity.col);
+      MemDisk& d = *disks_[static_cast<size_t>(pdisk)];
+      AlignedBuffer parity(element_size_);
+      d.read(element_offset(stripe, q.parity.row),
+             std::span<uint8_t>(parity.data(), element_size_));
+      xorops::xor_into(parity.data(), pdelta.data(), element_size_);
+      write_element(pdisk, stripe, q.parity.row,
+                    std::span<const uint8_t>(parity.data(), element_size_));
+      delta.emplace(q.parity, std::move(pdelta));
+    }
+
+    if (journal_) {
+      consume_write_budget();
+      journal_->commit(stripe);
+    }
+    g = stripe_end + 1;
+  }
+}
+
+void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
+  ensure_online();
+  DCODE_CHECK(offset >= 0 && offset + static_cast<int64_t>(out.size()) <=
+                                 capacity(),
+              "read outside the array's data space");
+  if (out.empty()) return;
+  const CodeLayout& layout = *layout_;
+  const int64_t esize = static_cast<int64_t>(element_size_);
+  const int64_t first = offset / esize;
+  const int64_t last = (offset + static_cast<int64_t>(out.size()) - 1) / esize;
+
+  std::vector<int> failed;
+  for (int d = 0; d < layout.cols(); ++d) {
+    if (disks_[static_cast<size_t>(d)]->failed() ||
+        needs_rebuild_[static_cast<size_t>(d)]) {
+      failed.push_back(d);
+    }
+  }
+
+  auto copy_out = [&](int64_t g, const uint8_t* elem) {
+    int64_t elem_start = g * esize;
+    int64_t lo = std::max<int64_t>(offset, elem_start);
+    int64_t hi = std::min<int64_t>(offset + static_cast<int64_t>(out.size()),
+                                   elem_start + esize);
+    std::memcpy(out.data() + (lo - offset), elem + (lo - elem_start),
+                static_cast<size_t>(hi - lo));
+  };
+
+  if (failed.empty()) {
+    AlignedBuffer buf(element_size_);
+    for (int64_t e = first; e <= last; ++e) {
+      auto loc = map_.locate(e);
+      disks_[static_cast<size_t>(loc.disk)]->read(
+          element_offset(loc.stripe, loc.element.row),
+          std::span<uint8_t>(buf.data(), element_size_));
+      copy_out(e, buf.data());
+    }
+    return;
+  }
+
+  // Degraded read: follow the planner's per-element equation choices.
+  IoPlan plan = planner_.plan_degraded_read(first,
+                                            static_cast<int>(last - first + 1),
+                                            failed);
+  // Scratch cache of element buffers per (stripe, element).
+  struct Key {
+    int64_t stripe;
+    Element e;
+    bool operator<(const Key& o) const {
+      return stripe != o.stripe ? stripe < o.stripe : e < o.e;
+    }
+  };
+  std::map<Key, AlignedBuffer> cache;
+
+  for (const IoAccess& a : plan.accesses) {
+    DCODE_ASSERT(!a.is_write, "degraded read plan must not write");
+    AlignedBuffer buf(element_size_);
+    disks_[static_cast<size_t>(a.disk)]->read(
+        element_offset(a.stripe, a.element.row),
+        std::span<uint8_t>(buf.data(), element_size_));
+    cache.emplace(Key{a.stripe, a.element}, std::move(buf));
+  }
+
+  for (const Reconstruction& rec : plan.reconstructions) {
+    AlignedBuffer buf(element_size_);
+    if (rec.equation >= 0) {
+      const Equation& q = layout.equations()[static_cast<size_t>(rec.equation)];
+      auto fold = [&](const Element& m) {
+        if (m == rec.target) return;
+        auto it = cache.find(Key{rec.stripe, m});
+        DCODE_CHECK(it != cache.end(),
+                    "planner promised this member was read");
+        xorops::xor_into(buf.data(), it->second.data(), element_size_);
+      };
+      fold(q.parity);
+      for (const Element& m : q.sources) fold(m);
+    } else {
+      // Full-stripe chained decode fallback (two failed disks crossing
+      // every equation of the target).
+      Stripe s(layout, element_size_);
+      load_stripe_degraded(rec.stripe, s);
+      std::memcpy(buf.data(), s.at(rec.target), element_size_);
+    }
+    cache.emplace(Key{rec.stripe, rec.target}, std::move(buf));
+  }
+
+  for (int64_t e = first; e <= last; ++e) {
+    auto loc = map_.locate(e);
+    auto it = cache.find(Key{loc.stripe, loc.element});
+    DCODE_CHECK(it != cache.end(), "requested element missing from plan");
+    copy_out(e, it->second.data());
+  }
+}
+
+void Raid6Array::rebuild() {
+  ensure_online();
+  const CodeLayout& layout = *layout_;
+  std::vector<int> targets;
+  for (int d = 0; d < layout.cols(); ++d) {
+    if (needs_rebuild_[static_cast<size_t>(d)]) {
+      DCODE_CHECK(!disks_[static_cast<size_t>(d)]->failed(),
+                  "replace_disk before rebuild");
+      targets.push_back(d);
+    }
+  }
+  if (targets.empty()) return;
+  DCODE_CHECK(static_cast<int>(targets.size()) <= layout.fault_tolerance(),
+              "more failed disks than the code tolerates");
+
+  if (targets.size() == 1) {
+    const int f = targets[0];
+    RecoveryPlan plan = plan_single_disk_recovery(
+        layout, f, RecoveryStrategy::kMinimalReads);
+    pool_.parallel_for_chunked(
+        static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
+          std::map<Element, AlignedBuffer> cache;
+          for (size_t s = begin; s < end; ++s) {
+            cache.clear();
+            for (const Element& e : plan.reads) {
+              AlignedBuffer buf(element_size_);
+              disks_[static_cast<size_t>(e.col)]->read(
+                  element_offset(static_cast<int64_t>(s), e.row),
+                  std::span<uint8_t>(buf.data(), element_size_));
+              cache.emplace(e, std::move(buf));
+            }
+            for (const Reconstruction& rec : plan.reconstructions) {
+              AlignedBuffer buf(element_size_);
+              const Equation& q =
+                  layout.equations()[static_cast<size_t>(rec.equation)];
+              auto fold = [&](const Element& m) {
+                if (m == rec.target) return;
+                auto it = cache.find(m);
+                DCODE_ASSERT(it != cache.end(),
+                             "recovery plan read set incomplete");
+                xorops::xor_into(buf.data(), it->second.data(),
+                                 element_size_);
+              };
+              fold(q.parity);
+              for (const Element& m : q.sources) fold(m);
+              write_element(f, static_cast<int64_t>(s), rec.target.row,
+                            std::span<const uint8_t>(buf.data(),
+                                                     element_size_));
+            }
+          }
+        });
+  } else {
+    // Two (or, for higher-tolerance codes like STAR, three) failed disks:
+    // whole-stripe decode, D-Code's chain decoder on its fast path.
+    std::vector<int> fs = targets;
+    std::sort(fs.begin(), fs.end());
+    const bool use_chain = layout.name() == "dcode" && fs.size() == 2;
+    pool_.parallel_for_chunked(
+        static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
+          Stripe s(layout, element_size_);
+          auto is_target = [&](int c) {
+            return std::find(fs.begin(), fs.end(), c) != fs.end();
+          };
+          for (size_t st = begin; st < end; ++st) {
+            // Read survivors.
+            for (int c = 0; c < layout.cols(); ++c) {
+              if (is_target(c)) continue;
+              for (int r = 0; r < layout.rows(); ++r) {
+                disks_[static_cast<size_t>(c)]->read(
+                    element_offset(static_cast<int64_t>(st), r),
+                    std::span<uint8_t>(s.at(r, c), element_size_));
+              }
+            }
+            if (use_chain) {
+              auto res = codes::dcode_decode_two_disks(s, fs[0], fs[1]);
+              DCODE_CHECK(res.success, "D-Code chain decode failed");
+            } else {
+              auto lost = codes::elements_of_disks(layout, fs);
+              auto res = codes::hybrid_decode(s, lost);
+              DCODE_CHECK(res.success, "stripe unrecoverable");
+            }
+            for (int c : fs) {
+              for (int r = 0; r < layout.rows(); ++r) {
+                write_element(c, static_cast<int64_t>(st), r,
+                              std::span<const uint8_t>(s.at(r, c),
+                                                       element_size_));
+              }
+            }
+          }
+        });
+  }
+
+  for (int d : targets) needs_rebuild_[static_cast<size_t>(d)] = false;
+}
+
+int64_t Raid6Array::scrub() {
+  ensure_online();
+  DCODE_CHECK(failed_disk_count() == 0, "scrub requires a healthy array");
+  const CodeLayout& layout = *layout_;
+  std::atomic<int64_t> bad{0};
+  pool_.parallel_for_chunked(
+      static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
+        Stripe s(layout, element_size_);
+        for (size_t st = begin; st < end; ++st) {
+          for (int c = 0; c < layout.cols(); ++c) {
+            for (int r = 0; r < layout.rows(); ++r) {
+              disks_[static_cast<size_t>(c)]->read(
+                  element_offset(static_cast<int64_t>(st), r),
+                  std::span<uint8_t>(s.at(r, c), element_size_));
+            }
+          }
+          Stripe re = s.clone();
+          codes::encode_stripe(re);
+          if (!re.equals(s)) bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+  return bad.load();
+}
+
+}  // namespace dcode::raid

@@ -1,0 +1,137 @@
+// Raid6Array: a byte-level RAID-6 array over in-memory disks.
+//
+// This is deliverable (a)'s top-level object and the substrate the
+// examples and the read-speed experiments run on. It owns one MemDisk per
+// layout column and `stripes` consecutive stripes; the logical address
+// space is the concatenated row-major data stream (element granularity
+// inside; byte-granularity at the public API).
+//
+// Behaviour:
+//  * write — healthy mode uses the planner's RMW/RCW choice, applying
+//    parity deltas with the XOR kernels; if any disk is failed, the
+//    affected stripes are reconstructed in memory, modified, re-encoded
+//    and written back to the surviving disks (stripe-rewrite policy).
+//  * read — healthy elements stream straight from the disks; lost ones are
+//    rebuilt through the degraded-read planner's equation choices.
+//  * fail_disk / replace_disk / rebuild — fault injection and repair.
+//    Rebuild fans out across stripes on a thread pool; one failed disk
+//    uses the minimal-read recovery plan, two use D-Code's chain decoder
+//    (for dcode) or the generic hybrid decoder.
+//  * scrub — verifies every parity equation, returning the number of
+//    inconsistent stripes (silent-corruption detection).
+//  * write-hole protection — with enable_journal(), every stripe update
+//    is bracketed by write-ahead intent records; inject_power_loss_after()
+//    simulates a crash after N more element writes, restart() brings the
+//    array back up, and journal_recover() re-encodes exactly the stripes
+//    with open intents (see raid/journal.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include <atomic>
+#include <optional>
+
+#include "codes/code_layout.h"
+#include "codes/stripe.h"
+#include "raid/address_map.h"
+#include "raid/journal.h"
+#include "raid/mem_disk.h"
+#include "raid/planner.h"
+#include "util/thread_pool.h"
+
+namespace dcode::raid {
+
+class Raid6Array {
+ public:
+  Raid6Array(std::unique_ptr<codes::CodeLayout> layout, size_t element_size,
+             int64_t stripes, unsigned threads = 0);
+
+  const codes::CodeLayout& layout() const { return *layout_; }
+  size_t element_size() const { return element_size_; }
+  int64_t stripes() const { return stripes_; }
+  // Usable capacity in bytes.
+  int64_t capacity() const {
+    return stripes_ * layout_->data_count() *
+           static_cast<int64_t>(element_size_);
+  }
+
+  // Byte-addressed user I/O over the logical data space.
+  void write(int64_t offset, std::span<const uint8_t> data);
+  void read(int64_t offset, std::span<uint8_t> out);
+
+  // Fault injection and repair.
+  void fail_disk(int disk);
+  void replace_disk(int disk);  // swap in a blank disk (still failed data!)
+
+  // Hot spares: blank standby disks. While spares remain, fail_disk()
+  // immediately swaps one in and rebuilds onto it — the array never stays
+  // degraded (a real controller's behaviour).
+  void add_hot_spares(int count);
+  int hot_spares() const { return hot_spares_; }
+  // Reconstructs the contents of every replaced disk. Call after
+  // replace_disk; throws if more than two disks are unrecovered.
+  void rebuild();
+
+  // Parity scrub: returns the number of stripes whose parities are
+  // inconsistent with their data.
+  int64_t scrub();
+
+  int failed_disk_count() const;
+  const MemDisk& disk(int d) const { return *disks_[static_cast<size_t>(d)]; }
+  MemDisk& disk(int d) { return *disks_[static_cast<size_t>(d)]; }
+  void reset_stats();
+
+  // --- Write-hole protection ---------------------------------------------
+  // Turns on write-ahead intent journaling for all subsequent writes.
+  void enable_journal(int slots = 64);
+  bool journal_enabled() const { return journal_.has_value(); }
+  // After `element_writes` more element-granular disk writes, every
+  // further write throws PowerLossError (data already written persists).
+  void inject_power_loss_after(int64_t element_writes);
+  bool crashed() const { return crashed_; }
+  // Clears the crashed state (reboot). Disk contents and the journal's
+  // intent records survive; call journal_recover() next.
+  void restart();
+  // Re-encodes the parity of every stripe with an open intent record and
+  // clears the journal. Returns the number of stripes repaired.
+  int64_t journal_recover();
+  // Open intent records (for tests/monitoring).
+  std::vector<int64_t> journal_open_stripes() const;
+
+ private:
+  // All mutating element I/O funnels through here so crash injection sees
+  // every write in order.
+  void write_element(int disk, int64_t stripe, int row,
+                     std::span<const uint8_t> data);
+  // Consumes one unit of the injected write budget (journal records and
+  // element writes both count); throws PowerLossError at zero.
+  void consume_write_budget();
+  void ensure_online() const;
+  size_t element_offset(int64_t stripe, int row) const {
+    return (static_cast<size_t>(stripe) * layout_->rows() +
+            static_cast<size_t>(row)) *
+           element_size_;
+  }
+  // Degraded helper: reconstruct one whole stripe into `out` (all columns).
+  void load_stripe_degraded(int64_t stripe, codes::Stripe& out);
+  void store_stripe(int64_t stripe, const codes::Stripe& in);
+
+  std::unique_ptr<codes::CodeLayout> layout_;
+  size_t element_size_;
+  int64_t stripes_;
+  AddressMap map_;
+  IoPlanner planner_;
+  std::vector<std::unique_ptr<MemDisk>> disks_;
+  ThreadPool pool_;
+  // Disks replaced but not yet rebuilt (their contents are blank).
+  std::vector<bool> needs_rebuild_;
+
+  int hot_spares_ = 0;
+  std::optional<WriteIntentJournal> journal_;
+  // Atomics: rebuild writes flow through the thread pool.
+  std::atomic<int64_t> crash_countdown_{-1};  // -1 = no injection armed
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace dcode::raid

@@ -1,0 +1,190 @@
+#include "raid/volume_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dcode::raid {
+
+namespace {
+
+constexpr uint64_t kMagic = 0xDC0DE7AB1E0001ull;  // "dcode table v1"
+
+// On-disk superblock layout (little-endian, fixed size):
+//   u64 magic | u32 count | count entries of
+//   { char name[32] | i64 offset | i64 size }
+struct RawEntry {
+  char name[32];
+  int64_t offset;
+  int64_t size;
+};
+
+}  // namespace
+
+size_t VolumeManager::superblock_bytes() {
+  return sizeof(uint64_t) + sizeof(uint32_t) +
+         static_cast<size_t>(kMaxVolumes) * sizeof(RawEntry);
+}
+
+VolumeManager VolumeManager::format(Raid6Array& array) {
+  DCODE_CHECK(array.capacity() >
+                  static_cast<int64_t>(superblock_bytes()),
+              "array too small for a volume table");
+  VolumeManager vm(array);
+  vm.volumes_.clear();
+  vm.persist();
+  return vm;
+}
+
+VolumeManager VolumeManager::open(Raid6Array& array) {
+  VolumeManager vm(array);
+  vm.load();
+  return vm;
+}
+
+void VolumeManager::persist() {
+  std::vector<uint8_t> block(superblock_bytes(), 0);
+  size_t off = 0;
+  uint64_t magic = kMagic;
+  std::memcpy(block.data() + off, &magic, sizeof(magic));
+  off += sizeof(magic);
+  uint32_t count = static_cast<uint32_t>(volumes_.size());
+  std::memcpy(block.data() + off, &count, sizeof(count));
+  off += sizeof(count);
+  for (const VolumeInfo& v : volumes_) {
+    RawEntry e{};
+    DCODE_ASSERT(v.name.size() <= kMaxNameLen, "name length enforced earlier");
+    std::memcpy(e.name, v.name.data(), v.name.size());
+    e.offset = v.offset;
+    e.size = v.size;
+    std::memcpy(block.data() + off, &e, sizeof(e));
+    off += sizeof(e);
+  }
+  array_->write(0, block);
+}
+
+void VolumeManager::load() {
+  std::vector<uint8_t> block(superblock_bytes());
+  array_->read(0, block);
+  size_t off = 0;
+  uint64_t magic = 0;
+  std::memcpy(&magic, block.data() + off, sizeof(magic));
+  off += sizeof(magic);
+  DCODE_CHECK(magic == kMagic, "no volume table on this array (format it?)");
+  uint32_t count = 0;
+  std::memcpy(&count, block.data() + off, sizeof(count));
+  off += sizeof(count);
+  DCODE_CHECK(count <= kMaxVolumes, "corrupt volume table");
+  volumes_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    RawEntry e{};
+    std::memcpy(&e, block.data() + off, sizeof(e));
+    off += sizeof(e);
+    VolumeInfo v;
+    v.name.assign(e.name, strnlen(e.name, sizeof(e.name)));
+    v.offset = e.offset;
+    v.size = e.size;
+    DCODE_CHECK(v.offset >= static_cast<int64_t>(superblock_bytes()) &&
+                    v.size > 0 &&
+                    v.offset + v.size <= array_->capacity(),
+                "corrupt volume extent");
+    volumes_.push_back(std::move(v));
+  }
+}
+
+void VolumeManager::create(const std::string& name, int64_t size) {
+  DCODE_CHECK(!name.empty() && name.size() <= kMaxNameLen,
+              "volume name must be 1..31 characters");
+  DCODE_CHECK(size > 0, "volume size must be positive");
+  DCODE_CHECK(static_cast<int>(volumes_.size()) < kMaxVolumes,
+              "volume table full");
+  DCODE_CHECK(!find(name).has_value(), "volume already exists: " + name);
+
+  // First-fit over gaps between extents (sorted by offset).
+  std::vector<VolumeInfo> sorted = volumes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const VolumeInfo& a, const VolumeInfo& b) {
+              return a.offset < b.offset;
+            });
+  int64_t cursor = static_cast<int64_t>(superblock_bytes());
+  int64_t chosen = -1;
+  for (const VolumeInfo& v : sorted) {
+    if (v.offset - cursor >= size) {
+      chosen = cursor;
+      break;
+    }
+    cursor = v.offset + v.size;
+  }
+  if (chosen < 0 && array_->capacity() - cursor >= size) chosen = cursor;
+  DCODE_CHECK(chosen >= 0, "no contiguous extent of " + std::to_string(size) +
+                               " bytes free");
+
+  volumes_.push_back(VolumeInfo{name, chosen, size});
+  persist();
+}
+
+void VolumeManager::remove(const std::string& name) {
+  auto it = std::find_if(volumes_.begin(), volumes_.end(),
+                         [&](const VolumeInfo& v) { return v.name == name; });
+  DCODE_CHECK(it != volumes_.end(), "unknown volume: " + name);
+  volumes_.erase(it);
+  persist();
+}
+
+const VolumeInfo& VolumeManager::lookup(const std::string& name) const {
+  for (const VolumeInfo& v : volumes_) {
+    if (v.name == name) return v;
+  }
+  DCODE_CHECK(false, "unknown volume: " + name);
+  static VolumeInfo unreachable;
+  return unreachable;
+}
+
+void VolumeManager::write(const std::string& name, int64_t offset,
+                          std::span<const uint8_t> data) {
+  const VolumeInfo& v = lookup(name);
+  DCODE_CHECK(offset >= 0 &&
+                  offset + static_cast<int64_t>(data.size()) <= v.size,
+              "write outside volume " + name);
+  array_->write(v.offset + offset, data);
+}
+
+void VolumeManager::read(const std::string& name, int64_t offset,
+                         std::span<uint8_t> out) {
+  const VolumeInfo& v = lookup(name);
+  DCODE_CHECK(offset >= 0 && offset + static_cast<int64_t>(out.size()) <=
+                                 v.size,
+              "read outside volume " + name);
+  array_->read(v.offset + offset, out);
+}
+
+std::vector<VolumeInfo> VolumeManager::list() const { return volumes_; }
+
+std::optional<VolumeInfo> VolumeManager::find(const std::string& name) const {
+  for (const VolumeInfo& v : volumes_) {
+    if (v.name == name) return v;
+  }
+  return std::nullopt;
+}
+
+int64_t VolumeManager::free_bytes() const {
+  int64_t used = static_cast<int64_t>(superblock_bytes());
+  for (const VolumeInfo& v : volumes_) used += v.size;
+  return array_->capacity() - used;
+}
+
+int64_t VolumeManager::largest_free_extent() const {
+  std::vector<VolumeInfo> sorted = volumes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const VolumeInfo& a, const VolumeInfo& b) {
+              return a.offset < b.offset;
+            });
+  int64_t cursor = static_cast<int64_t>(superblock_bytes());
+  int64_t best = 0;
+  for (const VolumeInfo& v : sorted) {
+    best = std::max(best, v.offset - cursor);
+    cursor = v.offset + v.size;
+  }
+  return std::max(best, array_->capacity() - cursor);
+}
+
+}  // namespace dcode::raid

@@ -1,0 +1,72 @@
+// VolumeManager: named volumes on top of a Raid6Array.
+//
+// The thinnest useful storage frontend: a superblock at the start of the
+// array's logical space holds a volume table (name, offset, size);
+// volumes are contiguous byte extents allocated first-fit. The
+// superblock lives *inside* the protected data space, so volume metadata
+// enjoys the same two-disk fault tolerance as the data — open() after a
+// failure/rebuild cycle sees the same volumes.
+//
+// This is deliberately a flat, fixed-size table (64 volumes, 32-byte
+// names): the point is a realistic consumer of the array API (byte
+// addressing, degraded reads, journaled writes), not a filesystem.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "raid/raid6_array.h"
+
+namespace dcode::raid {
+
+struct VolumeInfo {
+  std::string name;
+  int64_t offset = 0;  // bytes, within the array's data space
+  int64_t size = 0;    // bytes
+};
+
+class VolumeManager {
+ public:
+  static constexpr int kMaxVolumes = 64;
+  static constexpr size_t kMaxNameLen = 31;
+
+  // Initializes an empty volume table (destroys existing metadata).
+  static VolumeManager format(Raid6Array& array);
+  // Loads an existing table; throws if the superblock is not recognized.
+  static VolumeManager open(Raid6Array& array);
+
+  // Creates a volume of `size` bytes; first-fit allocation. Throws on
+  // duplicate name, a full table, or insufficient contiguous space.
+  void create(const std::string& name, int64_t size);
+  // Removes a volume (its extent becomes reusable). Throws if unknown.
+  void remove(const std::string& name);
+
+  // Byte I/O within a volume; bounds-checked against the volume size.
+  void write(const std::string& name, int64_t offset,
+             std::span<const uint8_t> data);
+  void read(const std::string& name, int64_t offset, std::span<uint8_t> out);
+
+  std::vector<VolumeInfo> list() const;
+  std::optional<VolumeInfo> find(const std::string& name) const;
+
+  // Usable bytes not covered by any volume or the superblock.
+  int64_t free_bytes() const;
+  // Largest single volume that could be created right now.
+  int64_t largest_free_extent() const;
+
+ private:
+  explicit VolumeManager(Raid6Array& array) : array_(&array) {}
+  void persist();
+  void load();
+  const VolumeInfo& lookup(const std::string& name) const;
+
+  static size_t superblock_bytes();
+
+  Raid6Array* array_;
+  std::vector<VolumeInfo> volumes_;
+};
+
+}  // namespace dcode::raid

@@ -1,0 +1,116 @@
+#include "rs/cauchy_rs.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dcode::rs {
+
+CauchyRsCodec::CauchyRsCodec(int k, int m, int w, bool smart)
+    : k_(k), m_(m), w_(w), smart_(smart), field_(gf::field_for(w)) {
+  DCODE_CHECK(k > 0 && m > 0, "k and m must be positive");
+  DCODE_CHECK(static_cast<uint32_t>(k + m) <= field_.size(),
+              "k + m must fit in GF(2^w)");
+  coding_matrix_ = gf::cauchy_coding_matrix(field_, k, m);
+  gf::BitMatrix bm = gf::to_bitmatrix(field_, coding_matrix_);
+  encode_schedule_ = smart ? gf::smart_schedule(bm, k, m, w)
+                           : gf::dumb_schedule(bm, k, m, w);
+}
+
+size_t CauchyRsCodec::schedule_xors() const {
+  size_t n = 0;
+  for (const auto& op : encode_schedule_) n += op.assign ? 0 : 1;
+  return n;
+}
+
+void CauchyRsCodec::encode(std::span<const uint8_t* const> data,
+                           std::span<uint8_t* const> coding,
+                           size_t size) const {
+  DCODE_CHECK(static_cast<int>(data.size()) == k_, "expected k data buffers");
+  DCODE_CHECK(static_cast<int>(coding.size()) == m_,
+              "expected m coding buffers");
+  std::vector<const uint8_t*> d(data.begin(), data.end());
+  std::vector<uint8_t*> c(coding.begin(), coding.end());
+  gf::apply_schedule(encode_schedule_, d, c, w_, size);
+}
+
+bool CauchyRsCodec::decode(std::span<uint8_t* const> data,
+                           std::span<uint8_t* const> coding,
+                           std::span<const int> erased, size_t size) const {
+  DCODE_CHECK(static_cast<int>(erased.size()) <= m_,
+              "cannot repair more than m erasures");
+  std::vector<bool> is_erased(static_cast<size_t>(k_ + m_), false);
+  for (int id : erased) {
+    DCODE_CHECK(id >= 0 && id < k_ + m_, "erasure id out of range");
+    is_erased[static_cast<size_t>(id)] = true;
+  }
+
+  // Build the surviving k x k field matrix and its survivor buffer list.
+  gf::Matrix survive(k_, k_);
+  std::vector<const uint8_t*> survivors;
+  int filled = 0;
+  for (int j = 0; j < k_ && filled < k_; ++j) {
+    if (is_erased[static_cast<size_t>(j)]) continue;
+    survive.at(filled, j) = 1;
+    survivors.push_back(data[j]);
+    ++filled;
+  }
+  for (int i = 0; i < m_ && filled < k_; ++i) {
+    if (is_erased[static_cast<size_t>(k_ + i)]) continue;
+    for (int j = 0; j < k_; ++j) survive.at(filled, j) = coding_matrix_.at(i, j);
+    survivors.push_back(coding[i]);
+    ++filled;
+  }
+  if (filled < k_) return false;
+
+  gf::Matrix inv;
+  if (!gf::invert(field_, survive, &inv)) return false;
+
+  // Repair data devices via a bit-matrix schedule over the survivor list.
+  std::vector<int> lost_data;
+  for (int id : erased) {
+    if (id < k_) lost_data.push_back(id);
+  }
+  if (!lost_data.empty()) {
+    gf::Matrix repair(static_cast<int>(lost_data.size()), k_);
+    for (size_t r = 0; r < lost_data.size(); ++r) {
+      for (int j = 0; j < k_; ++j) {
+        repair.at(static_cast<int>(r), j) = inv.at(lost_data[r], j);
+      }
+    }
+    gf::BitMatrix bm = gf::to_bitmatrix(field_, repair);
+    auto schedule =
+        smart_ ? gf::smart_schedule(bm, k_, static_cast<int>(lost_data.size()), w_)
+               : gf::dumb_schedule(bm, k_, static_cast<int>(lost_data.size()), w_);
+    std::vector<uint8_t*> out;
+    out.reserve(lost_data.size());
+    for (int id : lost_data) out.push_back(data[id]);
+    gf::apply_schedule(schedule, survivors, out, w_, size);
+  }
+
+  // Re-encode lost coding devices from complete data.
+  std::vector<int> lost_coding;
+  for (int id : erased) {
+    if (id >= k_) lost_coding.push_back(id - k_);
+  }
+  if (!lost_coding.empty()) {
+    gf::Matrix rows(static_cast<int>(lost_coding.size()), k_);
+    for (size_t r = 0; r < lost_coding.size(); ++r) {
+      for (int j = 0; j < k_; ++j) {
+        rows.at(static_cast<int>(r), j) = coding_matrix_.at(lost_coding[r], j);
+      }
+    }
+    gf::BitMatrix bm = gf::to_bitmatrix(field_, rows);
+    auto schedule =
+        smart_ ? gf::smart_schedule(bm, k_, static_cast<int>(lost_coding.size()), w_)
+               : gf::dumb_schedule(bm, k_, static_cast<int>(lost_coding.size()), w_);
+    std::vector<const uint8_t*> d(data.begin(), data.end());
+    std::vector<uint8_t*> out;
+    out.reserve(lost_coding.size());
+    for (int i : lost_coding) out.push_back(coding[i]);
+    gf::apply_schedule(schedule, d, out, w_, size);
+  }
+  return true;
+}
+
+}  // namespace dcode::rs

@@ -1,0 +1,44 @@
+// Cauchy Reed–Solomon codec with bit-matrix scheduling (XOR-only).
+//
+// Encoding never multiplies in the field: the generator is expanded to a
+// binary matrix once and executed as a schedule of packet XORs (see
+// gf/bitmatrix.h). Decoding inverts the surviving field matrix, expands
+// the repair rows to bits, and replays them the same way. This mirrors
+// jerasure's cauchy_* path and is the fairest "general-purpose code" of
+// the era to benchmark the specialized RAID-6 array codes against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/bitmatrix.h"
+
+namespace dcode::rs {
+
+class CauchyRsCodec {
+ public:
+  // `smart` selects jerasure's differential schedule.
+  CauchyRsCodec(int k, int m, int w, bool smart = true);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  int w() const { return w_; }
+  size_t schedule_xors() const;  // XOR op count, for the complexity bench
+
+  // Buffer sizes must be divisible by w (packets).
+  void encode(std::span<const uint8_t* const> data,
+              std::span<uint8_t* const> coding, size_t size) const;
+
+  bool decode(std::span<uint8_t* const> data, std::span<uint8_t* const> coding,
+              std::span<const int> erased, size_t size) const;
+
+ private:
+  int k_, m_, w_;
+  bool smart_;
+  const gf::GaloisField& field_;
+  gf::Matrix coding_matrix_;
+  std::vector<gf::ScheduleOp> encode_schedule_;
+};
+
+}  // namespace dcode::rs

@@ -1,0 +1,229 @@
+#include "rs/reed_solomon.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+#include "xorops/xor_region.h"
+
+namespace dcode::rs {
+
+RsCodec::RsCodec(int k, int m, int w, GeneratorKind kind)
+    : k_(k), m_(m), w_(w), field_(gf::field_for(w)) {
+  DCODE_CHECK(k > 0 && m > 0, "k and m must be positive");
+  DCODE_CHECK(static_cast<uint32_t>(k + m) <= field_.size(),
+              "k + m must fit in GF(2^w)");
+  coding_matrix_ = kind == GeneratorKind::kCauchy
+                       ? gf::cauchy_coding_matrix(field_, k, m)
+                       : gf::vandermonde_coding_matrix(field_, k, m);
+}
+
+void RsCodec::encode(std::span<const uint8_t* const> data,
+                     std::span<uint8_t* const> coding, size_t size) const {
+  DCODE_CHECK(static_cast<int>(data.size()) == k_, "expected k data buffers");
+  DCODE_CHECK(static_cast<int>(coding.size()) == m_,
+              "expected m coding buffers");
+  for (int i = 0; i < m_; ++i) {
+    bool first = true;
+    for (int j = 0; j < k_; ++j) {
+      uint32_t c = coding_matrix_.at(i, j);
+      if (c == 0) {
+        if (first) std::memset(coding[i], 0, size);
+        first = false;
+        continue;
+      }
+      field_.mul_region(coding[i], data[j], c, size, /*accumulate=*/!first);
+      first = false;
+    }
+  }
+}
+
+bool RsCodec::decode(std::span<uint8_t* const> data,
+                     std::span<uint8_t* const> coding,
+                     std::span<const int> erased, size_t size) const {
+  DCODE_CHECK(static_cast<int>(data.size()) == k_, "expected k data buffers");
+  DCODE_CHECK(static_cast<int>(coding.size()) == m_,
+              "expected m coding buffers");
+  DCODE_CHECK(static_cast<int>(erased.size()) <= m_,
+              "cannot repair more than m erasures");
+
+  std::vector<bool> is_erased(static_cast<size_t>(k_ + m_), false);
+  for (int id : erased) {
+    DCODE_CHECK(id >= 0 && id < k_ + m_, "erasure id out of range");
+    is_erased[static_cast<size_t>(id)] = true;
+  }
+
+  // Select k surviving rows of the generator [I; C]: data row j is the unit
+  // row e_j; coding row i is coding_matrix_ row i.
+  gf::Matrix survive(k_, k_);
+  std::vector<const uint8_t*> survivors;
+  survivors.reserve(static_cast<size_t>(k_));
+  int filled = 0;
+  for (int j = 0; j < k_ && filled < k_; ++j) {
+    if (is_erased[static_cast<size_t>(j)]) continue;
+    survive.at(filled, j) = 1;
+    survivors.push_back(data[j]);
+    ++filled;
+  }
+  for (int i = 0; i < m_ && filled < k_; ++i) {
+    if (is_erased[static_cast<size_t>(k_ + i)]) continue;
+    for (int j = 0; j < k_; ++j) survive.at(filled, j) = coding_matrix_.at(i, j);
+    survivors.push_back(coding[i]);
+    ++filled;
+  }
+  if (filled < k_) return false;  // not enough survivors
+
+  gf::Matrix inv;
+  if (!gf::invert(field_, survive, &inv)) return false;
+
+  // Recover erased data devices: data_j = sum_l inv[j][l] * survivor_l.
+  for (int id : erased) {
+    if (id >= k_) continue;
+    uint8_t* dst = data[id];
+    bool first = true;
+    for (int l = 0; l < k_; ++l) {
+      uint32_t c = inv.at(id, l);
+      if (c == 0) {
+        if (first) std::memset(dst, 0, size);
+        first = false;
+        continue;
+      }
+      field_.mul_region(dst, survivors[static_cast<size_t>(l)], c, size,
+                        !first);
+      first = false;
+    }
+  }
+
+  // Re-encode erased coding devices from the (now complete) data.
+  for (int id : erased) {
+    if (id < k_) continue;
+    int i = id - k_;
+    bool first = true;
+    for (int j = 0; j < k_; ++j) {
+      uint32_t c = coding_matrix_.at(i, j);
+      if (c == 0) {
+        if (first) std::memset(coding[i], 0, size);
+        first = false;
+        continue;
+      }
+      field_.mul_region(coding[i], data[j], c, size, !first);
+      first = false;
+    }
+  }
+  return true;
+}
+
+Raid6PqCodec::Raid6PqCodec(int k) : k_(k), field_(gf::gf8()) {
+  DCODE_CHECK(k >= 1 && k <= 255, "RAID-6 P/Q supports 1..255 data disks");
+}
+
+void Raid6PqCodec::encode(std::span<const uint8_t* const> data, uint8_t* p,
+                          uint8_t* q, size_t size) const {
+  DCODE_CHECK(static_cast<int>(data.size()) == k_, "expected k data buffers");
+  std::memcpy(p, data[0], size);
+  field_.mul_region(q, data[0], field_.exp(0), size, /*accumulate=*/false);
+  for (int i = 1; i < k_; ++i) {
+    xorops::xor_into(p, data[i], size);
+    field_.mul_region(q, data[i], field_.exp(static_cast<uint32_t>(i)), size,
+                      /*accumulate=*/true);
+  }
+}
+
+void Raid6PqCodec::decode(std::span<uint8_t* const> data, uint8_t* p,
+                          uint8_t* q, std::span<const int> erased,
+                          size_t size) const {
+  DCODE_CHECK(static_cast<int>(data.size()) == k_, "expected k data buffers");
+  DCODE_CHECK(erased.size() >= 1 && erased.size() <= 2,
+              "RAID-6 recovers one or two erasures");
+
+  // Normalize: ids 0..k-1 data, k = P, k+1 = Q.
+  std::vector<int> ids(erased.begin(), erased.end());
+  std::sort(ids.begin(), ids.end());
+  for (int id : ids)
+    DCODE_CHECK(id >= 0 && id <= k_ + 1, "erasure id out of range");
+
+  auto reencode_p = [&] {
+    std::memcpy(p, data[0], size);
+    for (int i = 1; i < k_; ++i) xorops::xor_into(p, data[i], size);
+  };
+  auto reencode_q = [&] {
+    field_.mul_region(q, data[0], 1, size, false);
+    for (int i = 1; i < k_; ++i) {
+      field_.mul_region(q, data[i], field_.exp(static_cast<uint32_t>(i)),
+                        size, true);
+    }
+  };
+
+  if (ids.size() == 1) {
+    int id = ids[0];
+    if (id == k_) {
+      reencode_p();
+    } else if (id == k_ + 1) {
+      reencode_q();
+    } else {
+      // Single data erasure: cheapest via P.
+      std::memcpy(data[id], p, size);
+      for (int i = 0; i < k_; ++i) {
+        if (i != id) xorops::xor_into(data[id], data[i], size);
+      }
+    }
+    return;
+  }
+
+  const int a = ids[0], b = ids[1];
+  if (a == k_ && b == k_ + 1) {
+    // Lost both parities: recompute.
+    reencode_p();
+    reencode_q();
+  } else if (b == k_) {
+    // Data + P: recover the data element via Q, then P.
+    uint8_t* dst = data[a];
+    // dst = (Q ^ sum_{i != a} g^i d_i) * g^{-a}
+    field_.mul_region(dst, q, 1, size, false);
+    for (int i = 0; i < k_; ++i) {
+      if (i == a) continue;
+      field_.mul_region(dst, data[i], field_.exp(static_cast<uint32_t>(i)),
+                        size, true);
+    }
+    uint32_t ginv = field_.inverse(field_.exp(static_cast<uint32_t>(a)));
+    field_.mul_region(dst, dst, ginv, size, false);
+    reencode_p();
+  } else if (b == k_ + 1) {
+    // Data + Q: recover the data element via P, then Q.
+    uint8_t* dst = data[a];
+    std::memcpy(dst, p, size);
+    for (int i = 0; i < k_; ++i) {
+      if (i != a) xorops::xor_into(dst, data[i], size);
+    }
+    reencode_q();
+  } else {
+    // Two data erasures a < b: the textbook RAID-6 double recovery.
+    //   Pxor = P ^ sum_{i != a,b} d_i          (= d_a ^ d_b)
+    //   Qxor = Q ^ sum_{i != a,b} g^i d_i      (= g^a d_a ^ g^b d_b)
+    //   d_a  = (g^{b-a} Pxor ^ g^{-a} Qxor... ) — we use the direct form:
+    //   d_a  = (Qxor ^ g^b * Pxor) / (g^a ^ g^b),  d_b = Pxor ^ d_a.
+    std::vector<uint8_t> pxor(size), qxor(size);
+    std::memcpy(pxor.data(), p, size);
+    field_.mul_region(qxor.data(), q, 1, size, false);
+    for (int i = 0; i < k_; ++i) {
+      if (i == a || i == b) continue;
+      xorops::xor_into(pxor.data(), data[i], size);
+      field_.mul_region(qxor.data(), data[i],
+                        field_.exp(static_cast<uint32_t>(i)), size, true);
+    }
+    uint32_t ga = field_.exp(static_cast<uint32_t>(a));
+    uint32_t gb = field_.exp(static_cast<uint32_t>(b));
+    uint32_t denom_inv = field_.inverse(ga ^ gb);
+
+    uint8_t* da = data[a];
+    uint8_t* db = data[b];
+    // da = (qxor ^ gb * pxor) * denom_inv
+    field_.mul_region(da, pxor.data(), gb, size, false);
+    xorops::xor_into(da, qxor.data(), size);
+    field_.mul_region(da, da, denom_inv, size, false);
+    // db = pxor ^ da
+    xorops::xor_assign(db, pxor.data(), da, size);
+  }
+}
+
+}  // namespace dcode::rs

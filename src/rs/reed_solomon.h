@@ -1,0 +1,74 @@
+// Matrix Reed–Solomon erasure codec (jerasure-1.2 style API).
+//
+// The paper implements every code on top of Jerasure; since Jerasure is
+// not available offline we provide the same functionality natively:
+//   * RsCodec        — generator-matrix encode / inverted-matrix decode
+//                      over GF(2^w), with Cauchy or distilled-Vandermonde
+//                      generators (both MDS);
+//   * Raid6PqCodec   — the classic P/Q RAID-6 specialization
+//                      (P = xor(d_i), Q = xor(g^i * d_i) over GF(2^8))
+//                      with closed-form two-erasure recovery.
+//
+// These serve as the "horizontal, GF-arithmetic" baselines the XOR array
+// codes are measured against in bench_codec_throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf/gf_matrix.h"
+
+namespace dcode::rs {
+
+enum class GeneratorKind { kCauchy, kVandermonde };
+
+// Buffers are caller-owned; `data` has k spans, `coding` has m spans, all
+// the same size. Erasure ids: 0..k-1 = data devices, k..k+m-1 = coding.
+class RsCodec {
+ public:
+  RsCodec(int k, int m, int w, GeneratorKind kind = GeneratorKind::kCauchy);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  int w() const { return w_; }
+  const gf::Matrix& coding_matrix() const { return coding_matrix_; }
+
+  void encode(std::span<const uint8_t* const> data,
+              std::span<uint8_t* const> coding, size_t size) const;
+
+  // Repairs the devices listed in `erased` (any mix of data and coding ids,
+  // at most m of them) in place. All non-erased buffers must hold valid
+  // content. Returns false only if the erasure pattern is unrecoverable
+  // (cannot happen for an MDS generator with |erased| <= m; kept for API
+  // robustness).
+  bool decode(std::span<uint8_t* const> data, std::span<uint8_t* const> coding,
+              std::span<const int> erased, size_t size) const;
+
+ private:
+  int k_, m_, w_;
+  const gf::GaloisField& field_;
+  gf::Matrix coding_matrix_;  // m x k
+};
+
+// Fixed RAID-6 P/Q codec over GF(2^8): m = 2, k <= 255.
+class Raid6PqCodec {
+ public:
+  explicit Raid6PqCodec(int k);
+
+  int k() const { return k_; }
+
+  void encode(std::span<const uint8_t* const> data, uint8_t* p, uint8_t* q,
+              size_t size) const;
+
+  // Closed-form recovery for every one- and two-erasure pattern:
+  // {data}, {p}, {q}, {data,data}, {data,p}, {data,q}, {p,q}.
+  void decode(std::span<uint8_t* const> data, uint8_t* p, uint8_t* q,
+              std::span<const int> erased, size_t size) const;
+
+ private:
+  int k_;
+  const gf::GaloisField& field_;
+};
+
+}  // namespace dcode::rs

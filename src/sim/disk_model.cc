@@ -1,0 +1,54 @@
+#include "sim/disk_model.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcode::sim {
+
+std::vector<double> plan_disk_times_ms(const raid::IoPlan& plan, int disks,
+                                       const DiskModelParams& params) {
+  std::vector<double> times(static_cast<size_t>(disks), 0.0);
+
+  // Bucket accesses by disk as (stripe, row) positions.
+  std::map<int, std::vector<std::pair<int64_t, int>>> by_disk;
+  for (const auto& a : plan.accesses) {
+    DCODE_CHECK(a.disk >= 0 && a.disk < disks, "disk out of range");
+    by_disk[a.disk].emplace_back(a.stripe, a.element.row);
+  }
+
+  const double transfer_ms_per_element =
+      static_cast<double>(params.element_bytes) /
+      (params.bandwidth_mb_s * 1024.0 * 1024.0) * 1000.0;
+
+  for (auto& [disk, pos] : by_disk) {
+    std::sort(pos.begin(), pos.end());
+    pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+    // Count runs of consecutive rows within a stripe; each run costs one
+    // positioning delay.
+    size_t runs = 0;
+    for (size_t i = 0; i < pos.size(); ++i) {
+      if (i == 0 || pos[i].first != pos[i - 1].first ||
+          pos[i].second != pos[i - 1].second + 1) {
+        ++runs;
+      }
+    }
+    times[static_cast<size_t>(disk)] =
+        static_cast<double>(runs) * params.positioning_ms() +
+        static_cast<double>(pos.size()) * transfer_ms_per_element;
+  }
+  return times;
+}
+
+double plan_service_time_ms(const raid::IoPlan& plan,
+                            const DiskModelParams& params) {
+  int max_disk = -1;
+  for (const auto& a : plan.accesses) max_disk = std::max(max_disk, a.disk);
+  if (max_disk < 0) return 0.0;
+  auto times = plan_disk_times_ms(plan, max_disk + 1, params);
+  return *std::max_element(times.begin(), times.end());
+}
+
+}  // namespace dcode::sim

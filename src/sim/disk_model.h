@@ -1,0 +1,50 @@
+// Analytic disk service-time model — the substitute for the paper's
+// 16-disk Savvio 10K.3 array (DESIGN.md §4).
+//
+// Model: disks serve their accesses in parallel; one operation's latency
+// is the busiest disk's service time. Per disk, accesses to consecutive
+// rows of the same stripe merge into one positioning delay plus a longer
+// transfer (a real drive services them as one sequential request):
+//
+//   t_disk = runs * positioning + elements * element_bytes / bandwidth
+//   t_op   = max over disks of t_disk            (latency view)
+//
+// Positioning = average seek + half-rotation, defaulting to 10k-RPM SAS
+// figures (3.8 ms seek, 3.0 ms rotational latency). The read-speed
+// experiments use the *throughput* view: per-disk service times accumulate
+// across the whole workload and the elapsed time is the busiest disk's
+// total (disks are parallel servers kept busy by the benchmark client, as
+// in the paper's aggregate MB/s measurements) — this is exactly where
+// "the parity disks contribute nothing to normal reads" turns into lower
+// MB/s for the horizontal codes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "raid/io_plan.h"
+
+namespace dcode::sim {
+
+struct DiskModelParams {
+  double seek_ms = 3.8;           // average seek, Savvio 10K.3 class
+  double rotational_ms = 3.0;     // half a rotation at 10k RPM
+  double bandwidth_mb_s = 150.0;  // media transfer rate
+  size_t element_bytes = 64 * 1024;
+
+  double positioning_ms() const { return seek_ms + rotational_ms; }
+};
+
+// Per-disk service milliseconds for one plan (adjacent same-disk accesses
+// merged). Index = physical disk; disks not in the plan get 0. Reads and
+// writes cost the same in this model; `plan.reconstructions` are XOR work,
+// not disk time.
+std::vector<double> plan_disk_times_ms(const raid::IoPlan& plan, int disks,
+                                       const DiskModelParams& params);
+
+// Modeled wall-clock milliseconds to serve one plan in isolation: the
+// busiest disk's service time (disks work in parallel).
+double plan_service_time_ms(const raid::IoPlan& plan,
+                            const DiskModelParams& params);
+
+}  // namespace dcode::sim

@@ -1,0 +1,106 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+
+#include "raid/planner.h"
+#include "util/rng.h"
+
+namespace dcode::sim {
+
+using raid::AddressMap;
+using raid::IoPlan;
+using raid::IoPlanner;
+
+LoadResult run_load_experiment(const codes::CodeLayout& layout,
+                               WorkloadKind kind, WorkloadParams params,
+                               bool rotate) {
+  AddressMap map(layout, rotate);
+  IoPlanner planner(map);
+
+  params.start_space = layout.data_count();
+  std::vector<Op> ops = generate_workload(kind, params);
+
+  IoStats stats(layout.cols());
+  for (const Op& op : ops) {
+    IoPlan plan = op.is_write ? planner.plan_write(op.start, op.len)
+                              : planner.plan_read(op.start, op.len);
+    stats.accumulate(plan, op.times);
+  }
+  return LoadResult{stats, stats.load_balancing_factor(), stats.total()};
+}
+
+LoadResult run_load_experiment(const codes::CodeLayout& layout,
+                               WorkloadKind kind, uint64_t seed, bool rotate,
+                               int operations) {
+  WorkloadParams params;
+  params.operations = operations;
+  params.seed = seed;
+  return run_load_experiment(layout, kind, params, rotate);
+}
+
+SpeedResult run_normal_read_experiment(const codes::CodeLayout& layout,
+                                       uint64_t seed,
+                                       const DiskModelParams& params,
+                                       int operations) {
+  AddressMap map(layout);
+  IoPlanner planner(map);
+  Pcg32 rng(seed);
+
+  std::vector<double> disk_ms(static_cast<size_t>(layout.cols()), 0.0);
+  int64_t total_bytes = 0;
+  int64_t element_reads = 0;
+  for (int i = 0; i < operations; ++i) {
+    int64_t start = static_cast<int64_t>(
+        rng.next_u64() % static_cast<uint64_t>(layout.data_count()));
+    int len = rng.next_in_range(1, 20);
+    IoPlan plan = planner.plan_read(start, len);
+    auto t = plan_disk_times_ms(plan, layout.cols(), params);
+    for (int d = 0; d < layout.cols(); ++d)
+      disk_ms[static_cast<size_t>(d)] += t[static_cast<size_t>(d)];
+    total_bytes += static_cast<int64_t>(len) *
+                   static_cast<int64_t>(params.element_bytes);
+    element_reads += plan.total();
+  }
+  // Throughput view: elapsed time is the busiest disk's total service.
+  double total_ms = *std::max_element(disk_ms.begin(), disk_ms.end());
+  double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  double speed = mb / (total_ms / 1000.0);
+  return SpeedResult{speed, speed / layout.cols(), element_reads};
+}
+
+SpeedResult run_degraded_read_experiment(const codes::CodeLayout& layout,
+                                         uint64_t seed,
+                                         const DiskModelParams& params,
+                                         int operations_per_case) {
+  AddressMap map(layout);
+  IoPlanner planner(map);
+  Pcg32 rng(seed);
+
+  double total_ms = 0.0;
+  int64_t total_bytes = 0;
+  int64_t element_reads = 0;
+  for (int failed = 0; failed < layout.cols(); ++failed) {
+    // Only disks hosting data constitute "data disk failure cases".
+    if (layout.parity_elements_on_disk(failed) == layout.rows()) continue;
+    int fd[1] = {failed};
+    std::vector<double> disk_ms(static_cast<size_t>(layout.cols()), 0.0);
+    for (int i = 0; i < operations_per_case; ++i) {
+      int64_t start = static_cast<int64_t>(
+          rng.next_u64() % static_cast<uint64_t>(layout.data_count()));
+      int len = rng.next_in_range(1, 20);
+      IoPlan plan = planner.plan_degraded_read(start, len, fd);
+      auto t = plan_disk_times_ms(plan, layout.cols(), params);
+      for (int d = 0; d < layout.cols(); ++d)
+        disk_ms[static_cast<size_t>(d)] += t[static_cast<size_t>(d)];
+      total_bytes += static_cast<int64_t>(len) *
+                     static_cast<int64_t>(params.element_bytes);
+      element_reads += plan.total();
+    }
+    total_ms += *std::max_element(disk_ms.begin(), disk_ms.end());
+  }
+  double mb = static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+  double speed = mb / (total_ms / 1000.0);
+  return SpeedResult{speed, speed / layout.cols(), element_reads};
+}
+
+}  // namespace dcode::sim

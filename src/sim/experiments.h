@@ -1,0 +1,58 @@
+// Experiment drivers shared by the bench binaries and the integration
+// tests (tests exercise them at reduced operation counts).
+//
+// Each function reproduces one of the paper's evaluation procedures:
+//   run_load_experiment          -> Figures 4 (LF) and 5 (Cost), §IV
+//   run_normal_read_experiment   -> Figure 6, §V-B
+//   run_degraded_read_experiment -> Figure 7, §V-C
+#pragma once
+
+#include <cstdint>
+
+#include "codes/code_layout.h"
+#include "sim/disk_model.h"
+#include "sim/io_stats.h"
+#include "sim/workload.h"
+
+namespace dcode::sim {
+
+struct LoadResult {
+  IoStats stats;
+  double load_balancing_factor;
+  int64_t io_cost;
+};
+
+// 2000 random <S, L, T> tuples (paper defaults) planned through the
+// write/read planners and tallied per physical disk. `rotate` enables the
+// stripe-by-stripe disk rotation strawman for the ablation bench.
+LoadResult run_load_experiment(const codes::CodeLayout& layout,
+                               WorkloadKind kind, uint64_t seed,
+                               bool rotate = false, int operations = 2000);
+
+// Full-control variant: caller supplies the workload parameters
+// (start_space is overridden with the layout's data_count()); used by the
+// skew ablation.
+LoadResult run_load_experiment(const codes::CodeLayout& layout,
+                               WorkloadKind kind, WorkloadParams params,
+                               bool rotate = false);
+
+struct SpeedResult {
+  double read_mb_s;       // requested bytes / modeled elapsed time
+  double avg_mb_s_disk;   // read_mb_s / number of disks (paper Fig 6b/7b)
+  int64_t element_reads;  // total element accesses issued
+};
+
+// Normal mode: `operations` random (start, len) reads, len in [1, 20].
+SpeedResult run_normal_read_experiment(const codes::CodeLayout& layout,
+                                       uint64_t seed,
+                                       const DiskModelParams& params,
+                                       int operations = 2000);
+
+// Degraded mode: for every disk hosting data, `operations_per_case` random
+// reads with that disk failed (paper: 200 per failure case).
+SpeedResult run_degraded_read_experiment(const codes::CodeLayout& layout,
+                                         uint64_t seed,
+                                         const DiskModelParams& params,
+                                         int operations_per_case = 200);
+
+}  // namespace dcode::sim

@@ -1,0 +1,70 @@
+// Per-disk I/O accounting and the paper's two load metrics.
+//
+//   Load balancing factor  LF   = Lmax / Lmin   (paper Eq. 8; infinity
+//                                 when an idle disk exists — Figure 4
+//                                 plots it clamped at 30)
+//   I/O cost               Cost = sum of all disks' accesses (Eq. 9)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "raid/io_plan.h"
+#include "util/check.h"
+
+namespace dcode::sim {
+
+class IoStats {
+ public:
+  explicit IoStats(int disks) : per_disk_(static_cast<size_t>(disks), 0) {}
+
+  int disks() const { return static_cast<int>(per_disk_.size()); }
+  int64_t accesses(int disk) const {
+    return per_disk_[static_cast<size_t>(disk)];
+  }
+
+  void add(int disk, int64_t count) {
+    per_disk_[static_cast<size_t>(disk)] += count;
+  }
+
+  // Tally a plan executed `times` times.
+  void accumulate(const raid::IoPlan& plan, int times = 1) {
+    for (const auto& a : plan.accesses) {
+      DCODE_ASSERT(a.disk >= 0 && a.disk < disks(), "disk out of range");
+      per_disk_[static_cast<size_t>(a.disk)] += times;
+    }
+  }
+
+  int64_t total() const {
+    int64_t t = 0;
+    for (int64_t v : per_disk_) t += v;
+    return t;
+  }
+
+  int64_t max_load() const {
+    int64_t m = 0;
+    for (int64_t v : per_disk_) m = v > m ? v : m;
+    return m;
+  }
+
+  int64_t min_load() const {
+    int64_t m = std::numeric_limits<int64_t>::max();
+    for (int64_t v : per_disk_) m = v < m ? v : m;
+    return per_disk_.empty() ? 0 : m;
+  }
+
+  // Lmax / Lmin; +infinity if some disk saw no I/O at all.
+  double load_balancing_factor() const {
+    int64_t lmin = min_load();
+    if (lmin == 0) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(max_load()) / static_cast<double>(lmin);
+  }
+
+  const std::vector<int64_t>& per_disk() const { return per_disk_; }
+
+ private:
+  std::vector<int64_t> per_disk_;
+};
+
+}  // namespace dcode::sim

@@ -1,0 +1,70 @@
+#include "sim/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dcode::sim {
+
+std::vector<Op> load_trace(std::istream& in) {
+  std::vector<Op> ops;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+
+    Op op;
+    if (kind == "R" || kind == "r") {
+      op.is_write = false;
+    } else if (kind == "W" || kind == "w") {
+      op.is_write = true;
+    } else {
+      DCODE_CHECK(false, "trace line " + std::to_string(lineno) +
+                             ": expected R or W, got '" + kind + "'");
+    }
+    DCODE_CHECK(static_cast<bool>(ls >> op.start >> op.len),
+                "trace line " + std::to_string(lineno) +
+                    ": expected '<start> <len> [times]'");
+    if (!(ls >> op.times)) op.times = 1;
+    DCODE_CHECK(op.start >= 0 && op.len >= 1 && op.times >= 1,
+                "trace line " + std::to_string(lineno) +
+                    ": start/len/times out of range");
+    std::string trailing;
+    DCODE_CHECK(!(ls >> trailing), "trace line " + std::to_string(lineno) +
+                                       ": unexpected trailing tokens");
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+std::vector<Op> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  DCODE_CHECK(in.good(), "cannot open trace file: " + path);
+  return load_trace(in);
+}
+
+void save_trace(const std::vector<Op>& ops, std::ostream& out) {
+  out << "# dcode trace: <R|W> <start-element> <length> [times]\n";
+  for (const Op& op : ops) {
+    out << (op.is_write ? 'W' : 'R') << ' ' << op.start << ' ' << op.len;
+    if (op.times != 1) out << ' ' << op.times;
+    out << '\n';
+  }
+}
+
+void save_trace_file(const std::vector<Op>& ops, const std::string& path) {
+  std::ofstream out(path);
+  DCODE_CHECK(out.good(), "cannot open trace file for writing: " + path);
+  save_trace(ops, out);
+  DCODE_CHECK(out.good(), "error writing trace file: " + path);
+}
+
+}  // namespace dcode::sim

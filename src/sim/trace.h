@@ -1,0 +1,29 @@
+// Trace files: replayable workloads.
+//
+// The simulator's native workloads are synthetic; real evaluations replay
+// block traces. The format is one operation per line,
+//
+//   R <start> <len> [times]
+//   W <start> <len> [times]
+//
+// with '#' comments and blank lines ignored; `start` is a logical data
+// element index, `len` a run of consecutive elements, `times` an optional
+// repeat count (default 1) — the same <S, L, T> tuples as §IV-A.
+// Parsing is strict: malformed lines throw with the line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/workload.h"
+
+namespace dcode::sim {
+
+std::vector<Op> load_trace(std::istream& in);
+std::vector<Op> load_trace_file(const std::string& path);
+
+void save_trace(const std::vector<Op>& ops, std::ostream& out);
+void save_trace_file(const std::vector<Op>& ops, const std::string& path);
+
+}  // namespace dcode::sim

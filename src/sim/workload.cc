@@ -1,0 +1,64 @@
+#include "sim/workload.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcode::sim {
+
+const char* workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kReadOnly:
+      return "read-only";
+    case WorkloadKind::kReadIntensive:
+      return "read-intensive (7:3)";
+    case WorkloadKind::kMixed:
+      return "read-write mixed (1:1)";
+  }
+  return "?";
+}
+
+std::vector<Op> generate_workload(WorkloadKind kind,
+                                  const WorkloadParams& params) {
+  DCODE_CHECK(params.operations > 0, "need at least one operation");
+  DCODE_CHECK(params.min_len >= 1 && params.min_len <= params.max_len,
+              "invalid length range");
+  DCODE_CHECK(params.min_times >= 1 && params.min_times <= params.max_times,
+              "invalid times range");
+  DCODE_CHECK(params.start_space >= 1, "empty start space");
+  DCODE_CHECK(params.skew >= 1.0, "skew < 1 would bias toward high addresses");
+
+  Pcg32 rng(params.seed);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(params.operations));
+  for (int i = 0; i < params.operations; ++i) {
+    Op op;
+    switch (kind) {
+      case WorkloadKind::kReadOnly:
+        op.is_write = false;
+        break;
+      case WorkloadKind::kReadIntensive:
+        op.is_write = rng.next_below(10) < 3;
+        break;
+      case WorkloadKind::kMixed:
+        op.is_write = rng.next_below(2) == 0;
+        break;
+    }
+    if (params.skew == 1.0) {
+      op.start = static_cast<int64_t>(
+          rng.next_u64() % static_cast<uint64_t>(params.start_space));
+    } else {
+      double u = rng.next_double();
+      op.start = static_cast<int64_t>(
+          static_cast<double>(params.start_space) *
+          std::pow(u, params.skew));
+      if (op.start >= params.start_space) op.start = params.start_space - 1;
+    }
+    op.len = rng.next_in_range(params.min_len, params.max_len);
+    op.times = rng.next_in_range(params.min_times, params.max_times);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+}  // namespace dcode::sim

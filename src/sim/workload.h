@@ -1,0 +1,51 @@
+// Workload generation — paper §IV-A's methodology, reproduced exactly.
+//
+// Each operation is a 3-tuple <S, L, T>: starting logical data element S,
+// length L consecutive elements, repeated T times. The paper draws 2000
+// tuples per configuration with S anywhere in the stripe, L uniform in
+// [1, 20] (the FAST'12 range) and T uniform in [1, 1000] (the HDP range),
+// under three mixes:
+//   read-only        (cloud storage),
+//   read-intensive   (7:3 reads:writes — SSD arrays),
+//   evenly mixed     (1:1 — traditional filesystems over disk arrays).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dcode::sim {
+
+struct Op {
+  bool is_write = false;
+  int64_t start = 0;  // logical data element index
+  int len = 1;        // L: consecutive elements
+  int times = 1;      // T: repetition count
+};
+
+enum class WorkloadKind { kReadOnly, kReadIntensive, kMixed };
+
+const char* workload_name(WorkloadKind kind);
+
+struct WorkloadParams {
+  int operations = 2000;
+  int min_len = 1;
+  int max_len = 20;
+  int min_times = 1;
+  int max_times = 1000;
+  // S is drawn from [0, start_space). The paper draws starts within one
+  // stripe; callers pass the layout's data_count().
+  int64_t start_space = 1;
+  // Start-address skew: 1.0 = uniform (the paper's setting); larger
+  // values concentrate starts toward low addresses via S = space * u^skew
+  // (a hot-spot workload for the skew ablation).
+  double skew = 1.0;
+  uint64_t seed = 0x5eed;
+};
+
+// Write probability: read-only 0, read-intensive 3/10, mixed 1/2.
+std::vector<Op> generate_workload(WorkloadKind kind,
+                                  const WorkloadParams& params);
+
+}  // namespace dcode::sim

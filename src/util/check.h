@@ -1,0 +1,45 @@
+// Lightweight runtime contract checking.
+//
+// The library validates public-API arguments with DCODE_CHECK (always on)
+// and internal invariants with DCODE_ASSERT (compiled out in NDEBUG-with-
+// DCODE_NO_INTERNAL_CHECKS builds). Violations throw std::logic_error /
+// std::invalid_argument so callers and tests can observe them; array codes
+// guard storage, so failing fast beats corrupting a stripe.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcode::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace dcode::detail
+
+// Argument validation for public entry points: always enabled.
+#define DCODE_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dcode::detail::check_failed("DCODE_CHECK", #cond, __FILE__,         \
+                                    __LINE__, (msg));                       \
+  } while (0)
+
+// Internal invariant: enabled unless explicitly compiled out.
+#if defined(DCODE_NO_INTERNAL_CHECKS)
+#define DCODE_ASSERT(cond, msg) ((void)0)
+#else
+#define DCODE_ASSERT(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dcode::detail::check_failed("DCODE_ASSERT", #cond, __FILE__,        \
+                                    __LINE__, (msg));                       \
+  } while (0)
+#endif

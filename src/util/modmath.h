@@ -1,0 +1,52 @@
+// Modular arithmetic helpers used by every array-code construction.
+//
+// The paper's equations use <x>_n, a *mathematical* (always non-negative)
+// residue. C++ `%` truncates toward zero, so expressions like
+// <i - j - 2>_n need the corrected form below. All helpers are constexpr
+// so layouts can be built in constant expressions and unit tests can use
+// static_assert.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dcode {
+
+// Non-negative residue of `x` modulo `n` (n > 0). Works for negative x,
+// which plain `%` does not: pmod(-1, 7) == 6 while -1 % 7 == -1.
+constexpr int pmod(int64_t x, int n) {
+  int64_t r = x % n;
+  return static_cast<int>(r < 0 ? r + n : r);
+}
+
+// Multiplicative inverse of `a` modulo prime `p` via Fermat's little
+// theorem (a^(p-2) mod p). Only meaningful for prime moduli.
+constexpr int mod_inverse(int a, int p) {
+  int64_t base = pmod(a, p);
+  int64_t result = 1;
+  for (int exp = p - 2; exp > 0; exp >>= 1) {
+    if (exp & 1) result = (result * base) % p;
+    base = (base * base) % p;
+  }
+  return static_cast<int>(result);
+}
+
+// x^e mod n for small non-negative exponents.
+constexpr int mod_pow(int x, int e, int n) {
+  int64_t base = pmod(x, n);
+  int64_t result = 1;
+  for (; e > 0; e >>= 1) {
+    if (e & 1) result = (result * base) % n;
+    base = (base * base) % n;
+  }
+  return static_cast<int>(result);
+}
+
+static_assert(pmod(-1, 7) == 6);
+static_assert(pmod(13, 7) == 6);
+static_assert(pmod(-8, 5) == 2);
+static_assert(mod_inverse(2, 7) == 4);
+static_assert(mod_pow(3, 4, 7) == 4);
+
+}  // namespace dcode

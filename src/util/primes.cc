@@ -1,0 +1,23 @@
+#include "util/primes.h"
+
+#include "util/check.h"
+
+namespace dcode {
+
+std::vector<int> primes_in_range(int lo, int hi) {
+  std::vector<int> out;
+  for (int n = lo; n <= hi; ++n) {
+    if (is_prime(n)) out.push_back(n);
+  }
+  return out;
+}
+
+int next_prime(int n) {
+  DCODE_CHECK(n <= (1 << 24), "next_prime argument unreasonably large");
+  if (n < 2) return 2;
+  int c = n;
+  while (!is_prime(c)) ++c;
+  return c;
+}
+
+}  // namespace dcode

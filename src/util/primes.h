@@ -1,0 +1,35 @@
+// Primality utilities.
+//
+// Every code in this library is parameterized by a prime p (D-Code and
+// X-Code require the *column count* to be prime; RDP/EVENODD/H-Code/HDP
+// require their internal p to be prime). Constructors use these helpers
+// to validate their arguments.
+#pragma once
+
+#include <vector>
+
+namespace dcode {
+
+// Deterministic trial-division primality test; ample for the disk counts
+// a RAID controller would ever see (p < 10^6 decides instantly).
+constexpr bool is_prime(int n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0) return false;
+  for (int d = 3; d * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+static_assert(is_prime(2) && is_prime(5) && is_prime(7) && is_prime(13));
+static_assert(!is_prime(1) && !is_prime(9) && !is_prime(15));
+
+// All primes in [lo, hi], ascending. Used by parameter sweeps in tests
+// and benchmarks (the paper evaluates p in {5, 7, 11, 13}).
+std::vector<int> primes_in_range(int lo, int hi);
+
+// Smallest prime >= n, e.g. for sizing a code to a requested disk count.
+int next_prime(int n);
+
+}  // namespace dcode

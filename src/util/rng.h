@@ -1,0 +1,83 @@
+// PCG32: a small, fast, statistically strong PRNG (O'Neill 2014).
+//
+// Simulations in this repo (workload generation, random stripes, failure
+// injection) need reproducible streams that are cheap to fork. PCG32 gives
+// a 2^64 period, independent streams via the `seq` parameter, and identical
+// output across platforms — unlike std::default_random_engine, whose
+// definition is implementation-specified.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dcode {
+
+class Pcg32 {
+ public:
+  // `seed` selects the starting point; `seq` selects one of 2^63
+  // independent streams.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t seq = 1)
+      : state_(0), inc_((seq << 1u) | 1u) {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  uint32_t next_u32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  uint64_t next_u64() {
+    return (static_cast<uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire-style
+  // rejection on the low 32 bits).
+  uint32_t next_below(uint32_t bound) {
+    DCODE_CHECK(bound > 0, "next_below bound must be positive");
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int next_in_range(int lo, int hi) {
+    DCODE_CHECK(lo <= hi, "next_in_range requires lo <= hi");
+    return lo + static_cast<int>(
+                    next_below(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  // Fill a byte buffer with pseudo-random content (test stripes).
+  void fill_bytes(uint8_t* data, size_t len) {
+    size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+      uint32_t v = next_u32();
+      data[i + 0] = static_cast<uint8_t>(v);
+      data[i + 1] = static_cast<uint8_t>(v >> 8);
+      data[i + 2] = static_cast<uint8_t>(v >> 16);
+      data[i + 3] = static_cast<uint8_t>(v >> 24);
+    }
+    if (i < len) {
+      uint32_t v = next_u32();
+      for (; i < len; ++i, v >>= 8) data[i] = static_cast<uint8_t>(v);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace dcode

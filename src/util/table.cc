@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dcode {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DCODE_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(const std::vector<std::string>& cells) {
+  DCODE_CHECK(cells.size() == header_.size(),
+              "row width must match the header");
+  rows_.push_back(cells);
+}
+
+void TablePrinter::add_numeric_row(const std::string& label,
+                                   const std::vector<double>& values,
+                                   int precision) {
+  DCODE_CHECK(values.size() + 1 == header_.size(),
+              "label + values must match the header width");
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace dcode

@@ -1,0 +1,36 @@
+// Console table / CSV formatting for experiment output.
+//
+// Every bench binary prints the same rows/series the paper's figures plot.
+// TablePrinter right-aligns numeric columns so sweeps are readable in a
+// terminal, and can emit the identical data as CSV for external plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dcode {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Convenience: formats doubles with `precision` digits after the point.
+  void add_row(const std::vector<std::string>& cells);
+  void add_numeric_row(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (no trailing garbage, locale-free).
+std::string format_double(double v, int precision = 2);
+
+}  // namespace dcode

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcode {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  parallel_for_chunked(count, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(
+    size_t count, const std::function<void(size_t, size_t)>& fn) {
+  if (count == 0) return;
+  const size_t nworkers = workers_.size();
+  // Dispatch is pointless for tiny ranges or a single worker.
+  if (nworkers <= 1 || count == 1) {
+    fn(0, count);
+    return;
+  }
+
+  const size_t nchunks = std::min(count, nworkers);
+  const size_t base = count / nchunks;
+  const size_t extra = count % nchunks;
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  size_t begin = 0;
+  for (size_t c = 0; c < nchunks; ++c) {
+    size_t len = base + (c < extra ? 1 : 0);
+    size_t end = begin + len;
+    submit([&fn, &first_error, &error_mu, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+    begin = end;
+  }
+  DCODE_ASSERT(begin == count, "chunking must cover the whole range");
+  wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dcode

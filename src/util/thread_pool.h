@@ -1,0 +1,56 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// Stripe encode/decode/rebuild is embarrassingly parallel across stripes,
+// so the pool only needs static chunking and a completion barrier — no
+// futures, no work stealing. Tasks must not throw across the boundary;
+// exceptions are captured and rethrown on the calling thread (first one
+// wins), matching how a RAID rebuild would surface a fault.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dcode {
+
+class ThreadPool {
+ public:
+  // `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Runs fn(i) for i in [0, count), partitioned into contiguous chunks,
+  // and blocks until all iterations complete. Runs inline when the pool
+  // has a single worker or the range is tiny (avoids dispatch overhead).
+  void parallel_for(size_t count, const std::function<void(size_t)>& fn);
+
+  // Like parallel_for but hands each worker a [begin, end) slice; useful
+  // when per-chunk setup (e.g. a scratch buffer) amortizes across items.
+  void parallel_for_chunked(
+      size_t count, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+  void wait_idle();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // callers wait for completion
+  size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dcode

@@ -1,0 +1,92 @@
+#include "xorops/xor_region.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace dcode::xorops {
+namespace {
+
+// Loads/stores through memcpy keep the kernels free of alignment UB while
+// still compiling to single mov/vmov instructions.
+inline uint64_t load64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+void xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    store64(dst + i, load64(dst + i) ^ load64(src + i));
+    store64(dst + i + 8, load64(dst + i + 8) ^ load64(src + i + 8));
+    store64(dst + i + 16, load64(dst + i + 16) ^ load64(src + i + 16));
+    store64(dst + i + 24, load64(dst + i + 24) ^ load64(src + i + 24));
+  }
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(src + i));
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(a + i) ^ load64(b + i));
+  }
+  for (; i < len; ++i) dst[i] = a[i] ^ b[i];
+}
+
+void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i));
+  }
+  for (; i < len; ++i) dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i]);
+}
+
+void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, const uint8_t* d, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^
+                         load64(c + i) ^ load64(d + i));
+  }
+  for (; i < len; ++i)
+    dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
+}
+
+void xor_many(uint8_t* dst, std::span<const uint8_t* const> sources,
+              size_t len) {
+  DCODE_CHECK(!sources.empty(), "xor_many needs at least one source");
+  std::memcpy(dst, sources[0], len);
+  size_t i = 1;
+  for (; i + 4 <= sources.size(); i += 4) {
+    xor4_into(dst, sources[i], sources[i + 1], sources[i + 2], sources[i + 3],
+              len);
+  }
+  for (; i + 2 <= sources.size(); i += 2) {
+    xor2_into(dst, sources[i], sources[i + 1], len);
+  }
+  for (; i < sources.size(); ++i) {
+    xor_into(dst, sources[i], len);
+  }
+}
+
+void xor_into_naive(uint8_t* dst, const uint8_t* src, size_t len) {
+  for (size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+}
+
+bool is_zero(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  uint64_t acc = 0;
+  for (; i + 8 <= len; i += 8) acc |= load64(data + i);
+  for (; i < len; ++i) acc |= data[i];
+  return acc == 0;
+}
+
+}  // namespace dcode::xorops

@@ -1,0 +1,43 @@
+// Word-wide XOR region kernels.
+//
+// Array-code encode/decode reduces to `dst ^= src` over element-sized
+// regions. These kernels process uint64_t words with a 4-way unrolled main
+// loop the compiler auto-vectorizes, plus fused multi-source variants
+// (xor3/xor5) that keep `dst` in registers across several sources — the
+// dominant pattern when computing a parity of n-3 inputs. Buffers from
+// AlignedBuffer are 64-byte aligned; the kernels also accept unaligned
+// tails byte-by-byte so arbitrary element sizes work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace dcode::xorops {
+
+// dst[i] ^= src[i] for i in [0, len).
+void xor_into(uint8_t* dst, const uint8_t* src, size_t len);
+
+// dst[i] = a[i] ^ b[i].
+void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len);
+
+// dst[i] ^= a[i] ^ b[i] (two sources, one pass over dst).
+void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len);
+
+// dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i] (four sources, one pass).
+void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, const uint8_t* d, size_t len);
+
+// dst[i] = XOR of all sources[i]; sources must be non-empty and all of
+// length `len`. Dispatches to the fused kernels in groups.
+void xor_many(uint8_t* dst, std::span<const uint8_t* const> sources,
+              size_t len);
+
+// Reference byte-at-a-time implementation used by tests to validate the
+// optimized kernels.
+void xor_into_naive(uint8_t* dst, const uint8_t* src, size_t len);
+
+// True if the region is all zero (verification helper).
+bool is_zero(const uint8_t* data, size_t len);
+
+}  // namespace dcode::xorops

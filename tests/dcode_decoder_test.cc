@@ -1,0 +1,157 @@
+// Tests for D-Code's specialized chain decoder (paper §III-C), including
+// the paper's exact Figure-3 recovery walkthrough.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "codes/dcode.h"
+#include "codes/dcode_decoder.h"
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/xcode.h"
+#include "util/rng.h"
+
+namespace dcode::codes {
+namespace {
+
+class ChainDecoder : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Primes, ChainDecoder,
+                         ::testing::Values(5, 7, 11, 13, 17));
+
+TEST_P(ChainDecoder, RecoversEveryDiskPair) {
+  const int n = GetParam();
+  DCodeLayout layout(n);
+  Pcg32 rng(static_cast<uint64_t>(n) * 31);
+  Stripe good(layout, 32);
+  good.randomize_data(rng);
+  encode_stripe(good);
+
+  for (int f1 = 0; f1 < n; ++f1) {
+    for (int f2 = f1 + 1; f2 < n; ++f2) {
+      Stripe broken = good.clone();
+      broken.erase_disk(f1);
+      broken.erase_disk(f2);
+      auto res = dcode_decode_two_disks(broken, f1, f2);
+      ASSERT_TRUE(res.success) << f1 << "," << f2;
+      ASSERT_TRUE(broken.equals(good)) << f1 << "," << f2;
+      // Every element of both columns appears exactly once.
+      EXPECT_EQ(res.sequence.size(), static_cast<size_t>(2 * n));
+    }
+  }
+}
+
+TEST_P(ChainDecoder, XorCostMatchesOptimalDecodingComplexity) {
+  // §III-D: decoding uses all 2n equations of n-3 XORs each ->
+  // (n-3) XORs per lost element, 2n(n-3) total.
+  const int n = GetParam();
+  DCodeLayout layout(n);
+  Pcg32 rng(7);
+  Stripe s(layout, 16);
+  s.randomize_data(rng);
+  encode_stripe(s);
+  Stripe broken = s.clone();
+  broken.erase_disk(0);
+  broken.erase_disk(1);
+  auto res = dcode_decode_two_disks(broken, 0, 1);
+  ASSERT_TRUE(res.success);
+  EXPECT_EQ(res.xor_ops, static_cast<size_t>(2 * n * (n - 3)));
+}
+
+TEST(ChainDecoder, PaperFigure3RecoverySequences) {
+  // Disks 2 and 3 fail in the n=7 stripe. The paper's first chain starts
+  // from P[5][1] and proceeds D13 -> D22 -> D23 -> D32 -> D33 -> P62; the
+  // second starts from P[6][4]: D42 -> D43 -> D02 -> D03 -> D12 -> P53.
+  DCodeLayout layout(7);
+  Pcg32 rng(3);
+  Stripe s(layout, 8);
+  s.randomize_data(rng);
+  encode_stripe(s);
+  Stripe broken = s.clone();
+  broken.erase_disk(2);
+  broken.erase_disk(3);
+  auto res = dcode_decode_two_disks(broken, 2, 3);
+  ASSERT_TRUE(res.success);
+  ASSERT_TRUE(broken.equals(s));
+
+  std::vector<Element> order;
+  for (const auto& step : res.sequence) order.push_back(step.recovered);
+
+  auto pos = [&](int r, int c) {
+    auto it = std::find(order.begin(), order.end(), make_element(r, c));
+    EXPECT_NE(it, order.end()) << "(" << r << "," << c << ") not recovered";
+    return std::distance(order.begin(), it);
+  };
+
+  // Chain 1 (from P[5][1]) in the paper's exact order.
+  const std::vector<Element> chain1 = {make_element(1, 3), make_element(2, 2),
+                                       make_element(2, 3), make_element(3, 2),
+                                       make_element(3, 3), make_element(6, 2)};
+  EXPECT_TRUE(std::equal(chain1.begin(), chain1.end(), order.begin()))
+      << "first chain must start the recovery";
+
+  // Chain 2 (from P[6][4]) preserves its internal order.
+  EXPECT_LT(pos(4, 2), pos(4, 3));
+  EXPECT_LT(pos(4, 3), pos(0, 2));
+  EXPECT_LT(pos(0, 2), pos(0, 3));
+  EXPECT_LT(pos(0, 3), pos(1, 2));
+  EXPECT_LT(pos(1, 2), pos(5, 3));
+
+  // All 14 elements of the two disks are recovered.
+  EXPECT_EQ(order.size(), 14u);
+}
+
+TEST(ChainDecoder, AdjacentDiskFailures) {
+  DCodeLayout layout(11);
+  Pcg32 rng(8);
+  Stripe s(layout, 16);
+  s.randomize_data(rng);
+  encode_stripe(s);
+  for (int f = 0; f < 11; ++f) {
+    int f2 = (f + 1) % 11;
+    Stripe broken = s.clone();
+    broken.erase_disk(std::min(f, f2));
+    broken.erase_disk(std::max(f, f2));
+    auto res = dcode_decode_two_disks(broken, std::min(f, f2), std::max(f, f2));
+    ASSERT_TRUE(res.success) << f;
+    ASSERT_TRUE(broken.equals(s)) << f;
+  }
+}
+
+TEST(ChainDecoder, AgreesWithGenericPeeling) {
+  DCodeLayout layout(13);
+  Pcg32 rng(12);
+  Stripe s(layout, 64);
+  s.randomize_data(rng);
+  encode_stripe(s);
+
+  Stripe via_chain = s.clone();
+  via_chain.erase_disk(4);
+  via_chain.erase_disk(9);
+  ASSERT_TRUE(dcode_decode_two_disks(via_chain, 4, 9).success);
+
+  Stripe via_peel = s.clone();
+  via_peel.erase_disk(4);
+  via_peel.erase_disk(9);
+  int disks[2] = {4, 9};
+  auto lost = elements_of_disks(layout, disks);
+  ASSERT_TRUE(peel_decode(via_peel, lost).success);
+
+  EXPECT_TRUE(via_chain.equals(via_peel));
+  EXPECT_TRUE(via_chain.equals(s));
+}
+
+TEST(ChainDecoder, RejectsMisuse) {
+  DCodeLayout layout(7);
+  Stripe s(layout, 8);
+  EXPECT_THROW((void)dcode_decode_two_disks(s, 2, 2), std::logic_error);
+  EXPECT_THROW((void)dcode_decode_two_disks(s, -1, 3), std::logic_error);
+  EXPECT_THROW((void)dcode_decode_two_disks(s, 0, 7), std::logic_error);
+
+  XCodeLayout xl(7);
+  Stripe xs(xl, 8);
+  EXPECT_THROW((void)dcode_decode_two_disks(xs, 0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dcode::codes

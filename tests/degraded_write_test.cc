@@ -1,0 +1,134 @@
+// Degraded-write planning tests: the planner's stripe-rewrite plans must
+// mirror the byte-level array's actual I/O, and degraded writes must cost
+// more than healthy ones (the quantity the degraded-load experiment
+// reports).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/planner.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+namespace dcode::raid {
+namespace {
+
+TEST(DegradedWrite, NoFailuresEqualsHealthyPlan) {
+  auto layout = codes::make_layout("dcode", 7);
+  AddressMap map(*layout);
+  IoPlanner planner(map);
+  std::vector<int> none;
+  EXPECT_EQ(planner.plan_degraded_write(3, 9, none).total(),
+            planner.plan_write(3, 9).total());
+}
+
+TEST(DegradedWrite, PlansNeverTouchFailedDisks) {
+  for (const char* name : {"dcode", "xcode", "rdp", "hdp"}) {
+    auto layout = codes::make_layout(name, 7);
+    AddressMap map(*layout);
+    IoPlanner planner(map);
+    Pcg32 rng(3);
+    for (int f = 0; f < layout->cols(); ++f) {
+      int fd[1] = {f};
+      for (int trial = 0; trial < 10; ++trial) {
+        int64_t start = rng.next_below(
+            static_cast<uint32_t>(layout->data_count()));
+        int len = rng.next_in_range(1, 20);
+        IoPlan plan = planner.plan_degraded_write(start, len, fd);
+        for (const auto& a : plan.accesses) {
+          EXPECT_NE(a.disk, f) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(DegradedWrite, CostsMoreThanHealthyWrites) {
+  auto layout = codes::make_layout("dcode", 11);
+  AddressMap map(*layout);
+  IoPlanner planner(map);
+  int fd[1] = {4};
+  // A short write to a stripe hosting the failed disk: the stripe-rewrite
+  // reads dominate.
+  IoPlan healthy = planner.plan_write(0, 4);
+  IoPlan degraded = planner.plan_degraded_write(0, 4, fd);
+  EXPECT_GT(degraded.total(), healthy.total());
+}
+
+TEST(DegradedWrite, ArrayAccessCountsMatchPlanner) {
+  // The consistency bridge: execute a degraded write on the byte array
+  // and compare per-operation disk access counts with the plan.
+  auto layout = codes::make_layout("xcode", 7);
+  const size_t esize = 128;
+  Raid6Array array(codes::make_layout("xcode", 7), esize, 3, 1);
+  Pcg32 rng(4);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+  array.fail_disk(2);
+  array.reset_stats();
+
+  AddressMap map(*layout);
+  IoPlanner planner(map);
+  int fd[1] = {2};
+  const int64_t start = 5;
+  const int len = 6;
+  IoPlan plan = planner.plan_degraded_write(start, len, fd);
+
+  std::vector<uint8_t> patch(static_cast<size_t>(len) * esize);
+  rng.fill_bytes(patch.data(), patch.size());
+  array.write(start * static_cast<int64_t>(esize), patch);
+
+  int64_t accesses = 0;
+  for (int d = 0; d < array.layout().cols(); ++d) {
+    accesses += array.disk(d).reads() + array.disk(d).writes();
+  }
+  EXPECT_EQ(accesses, plan.total());
+}
+
+TEST(DegradedWrite, HealthyStripesInARangeStayCheap) {
+  // A multi-stripe write where only the second stripe hosts failed data:
+  // with rotation, disk 0 is column 0 only in stripe 0.
+  auto layout = codes::make_layout("dcode", 5);
+  AddressMap rotating(*layout, /*rotate=*/true);
+  IoPlanner planner(rotating);
+  int fd[1] = {0};
+  // All stripes still host physical disk 0 somewhere, so every stripe is
+  // degraded here — but the *cost* must match stripe-by-stripe rewrite
+  // accounting: reads = surviving cells per stripe.
+  IoPlan plan = planner.plan_degraded_write(0, 2 * layout->data_count(), fd);
+  int64_t surviving_cells =
+      static_cast<int64_t>(layout->rows()) * (layout->cols() - 1);
+  EXPECT_EQ(plan.reads(), 2 * surviving_cells);
+}
+
+TEST(HotSpares, AutomaticRebuildKeepsArrayHealthy) {
+  Raid6Array array(codes::make_layout("dcode", 7), 256, 4, 2);
+  array.add_hot_spares(3);
+  Pcg32 rng(5);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  // Three sequential failures, each absorbed by a spare.
+  for (int f : {1, 4, 6}) {
+    array.fail_disk(f);
+    EXPECT_EQ(array.failed_disk_count(), 0) << "spare must absorb disk " << f;
+    EXPECT_EQ(array.scrub(), 0);
+  }
+  EXPECT_EQ(array.hot_spares(), 0);
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);
+  EXPECT_EQ(out, blob);
+
+  // Spares exhausted: the next failure degrades the array normally.
+  array.fail_disk(0);
+  EXPECT_EQ(array.failed_disk_count(), 1);
+  array.read(0, out);
+  EXPECT_EQ(out, blob);
+}
+
+}  // namespace
+}  // namespace dcode::raid

@@ -1,0 +1,113 @@
+// Randomized lifecycle fuzzing: long random sequences of writes, reads,
+// failures, replacements, rebuilds, and scrubs against a shadow byte
+// model, across every code. Any divergence between the array and the
+// shadow — or any scrub inconsistency while healthy — is a bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+namespace dcode::raid {
+namespace {
+
+class LifecycleFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, LifecycleFuzz,
+    ::testing::Combine(::testing::Values("dcode", "xcode", "rdp", "evenodd",
+                                         "hcode", "hdp", "pcode", "liberation"),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(LifecycleFuzz, ArrayNeverDivergesFromShadow) {
+  const auto& [name, seed] = GetParam();
+  Pcg32 rng(seed * 7919);
+
+  Raid6Array array(codes::make_layout(name, 7), /*element_size=*/128,
+                   /*stripes=*/4, /*threads=*/2);
+  std::vector<uint8_t> shadow(static_cast<size_t>(array.capacity()), 0);
+  const int disks = array.layout().cols();
+
+  std::vector<int> failed;  // disks currently failed or awaiting rebuild
+  int rebuild_pending = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // random write
+        int64_t off = static_cast<int64_t>(
+            rng.next_u64() % static_cast<uint64_t>(array.capacity() - 1));
+        size_t len = 1 + rng.next_below(static_cast<uint32_t>(std::min<int64_t>(
+                             2000, array.capacity() - off)));
+        std::vector<uint8_t> patch(len);
+        rng.fill_bytes(patch.data(), len);
+        array.write(off, patch);
+        std::copy(patch.begin(), patch.end(),
+                  shadow.begin() + static_cast<ptrdiff_t>(off));
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // random read + verify
+        int64_t off = static_cast<int64_t>(
+            rng.next_u64() % static_cast<uint64_t>(array.capacity() - 1));
+        size_t len = 1 + rng.next_below(static_cast<uint32_t>(std::min<int64_t>(
+                             2000, array.capacity() - off)));
+        std::vector<uint8_t> out(len);
+        array.read(off, out);
+        ASSERT_TRUE(std::equal(out.begin(), out.end(),
+                               shadow.begin() + static_cast<ptrdiff_t>(off)))
+            << name << " diverged at step " << step;
+        break;
+      }
+      case 7: {  // fail a disk if tolerance allows
+        if (static_cast<int>(failed.size()) + rebuild_pending < 2) {
+          int d = static_cast<int>(rng.next_below(static_cast<uint32_t>(disks)));
+          if (std::find(failed.begin(), failed.end(), d) == failed.end() &&
+              !array.disk(d).failed()) {
+            array.fail_disk(d);
+            failed.push_back(d);
+          }
+        }
+        break;
+      }
+      case 8: {  // replace + rebuild everything pending
+        for (int d : failed) {
+          array.replace_disk(d);
+        }
+        if (!failed.empty()) {
+          array.rebuild();
+          failed.clear();
+        }
+        break;
+      }
+      case 9: {  // scrub when healthy
+        if (failed.empty()) {
+          ASSERT_EQ(array.scrub(), 0) << name << " at step " << step;
+        }
+        break;
+      }
+    }
+  }
+
+  // Repair and final full verification.
+  for (int d : failed) array.replace_disk(d);
+  if (!failed.empty()) array.rebuild();
+  std::vector<uint8_t> out(shadow.size());
+  array.read(0, out);
+  EXPECT_EQ(out, shadow);
+  EXPECT_EQ(array.scrub(), 0);
+}
+
+}  // namespace
+}  // namespace dcode::raid

@@ -1,0 +1,452 @@
+// Structural tests for every code layout: geometry, parity distribution,
+// update complexity, XOR-count optimality, and — for D-Code — the paper's
+// worked n=7 examples, the equivalence of the closed-form and procedural
+// constructions, and Theorem 1 (D-Code is a per-column reordering of
+// X-Code).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "codes/dcode.h"
+#include "codes/encoder.h"
+#include "codes/pcode.h"
+#include "codes/registry.h"
+#include "codes/xcode.h"
+#include "util/modmath.h"
+#include "util/rng.h"
+
+namespace dcode::codes {
+namespace {
+
+using Param = std::tuple<std::string, int>;  // code name, prime
+
+class LayoutStructure : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<CodeLayout> layout_ = make_layout(std::get<0>(GetParam()),
+                                                    std::get<1>(GetParam()));
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, LayoutStructure,
+    ::testing::Combine(::testing::Values("dcode", "xcode", "rdp", "evenodd",
+                                         "hcode", "hdp", "pcode", "liberation"),
+                       ::testing::Values(5, 7, 11, 13, 17)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_p" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(LayoutStructure, GeometryMatchesFamilyDefinition) {
+  const auto& [name, p] = GetParam();
+  const CodeLayout& l = *layout_;
+  EXPECT_EQ(l.prime(), p);
+  if (name == "dcode" || name == "xcode") {
+    EXPECT_EQ(l.rows(), p);
+    EXPECT_EQ(l.cols(), p);
+    EXPECT_EQ(l.data_count(), p * (p - 2));
+  } else if (name == "rdp") {
+    EXPECT_EQ(l.rows(), p - 1);
+    EXPECT_EQ(l.cols(), p + 1);
+    EXPECT_EQ(l.data_count(), (p - 1) * (p - 1));
+  } else if (name == "evenodd") {
+    EXPECT_EQ(l.rows(), p - 1);
+    EXPECT_EQ(l.cols(), p + 2);
+    EXPECT_EQ(l.data_count(), p * (p - 1));
+  } else if (name == "hcode") {
+    EXPECT_EQ(l.rows(), p - 1);
+    EXPECT_EQ(l.cols(), p + 1);
+    EXPECT_EQ(l.data_count(), (p - 1) * (p - 1));
+  } else if (name == "hdp") {
+    EXPECT_EQ(l.rows(), p - 1);
+    EXPECT_EQ(l.cols(), p - 1);
+    EXPECT_EQ(l.data_count(), (p - 1) * (p - 3));
+  } else if (name == "pcode") {
+    EXPECT_EQ(l.rows(), (p - 1) / 2);
+    EXPECT_EQ(l.cols(), p - 1);
+    EXPECT_EQ(l.data_count(), (p - 1) * (p - 3) / 2);
+  } else if (name == "liberation") {
+    EXPECT_EQ(l.rows(), p);
+    EXPECT_EQ(l.cols(), p + 2);
+    EXPECT_EQ(l.data_count(), p * p);
+  }
+}
+
+TEST_P(LayoutStructure, EveryCellAccountedFor) {
+  const CodeLayout& l = *layout_;
+  int data = 0, parity = 0;
+  for (int r = 0; r < l.rows(); ++r) {
+    for (int c = 0; c < l.cols(); ++c) {
+      if (l.is_parity(r, c)) {
+        ++parity;
+        EXPECT_GE(l.equation_of_parity(r, c), 0);
+        EXPECT_EQ(l.data_index(r, c), -1);
+      } else {
+        ++data;
+        EXPECT_EQ(l.equation_of_parity(r, c), -1);
+        EXPECT_GE(l.data_index(r, c), 0);
+      }
+    }
+  }
+  EXPECT_EQ(data, l.data_count());
+  EXPECT_EQ(parity, l.parity_count());
+  EXPECT_EQ(data + parity, l.rows() * l.cols());
+}
+
+TEST_P(LayoutStructure, DataIndexRoundTrip) {
+  const CodeLayout& l = *layout_;
+  for (int i = 0; i < l.data_count(); ++i) {
+    Element e = l.data_element(i);
+    EXPECT_EQ(l.data_index(e.row, e.col), i);
+    EXPECT_EQ(l.kind(e.row, e.col), ElementKind::kData);
+  }
+  // Row-major: logical order is sorted by (row, col).
+  for (int i = 1; i < l.data_count(); ++i) {
+    EXPECT_LT(l.data_element(i - 1), l.data_element(i));
+  }
+}
+
+TEST_P(LayoutStructure, EquationsWellFormed) {
+  const auto& [name, p] = GetParam();
+  const CodeLayout& l = *layout_;
+  for (const Equation& q : l.equations()) {
+    EXPECT_TRUE(l.is_parity(q.parity.row, q.parity.col));
+    std::set<Element> seen;
+    std::set<int> cols;
+    for (const Element& e : q.sources) {
+      EXPECT_TRUE(seen.insert(e).second) << "duplicate source";
+      EXPECT_NE(e, q.parity);
+      cols.insert(e.col);
+    }
+    if (name != "evenodd" && name != "liberation") {
+      // One member per disk: any single disk failure leaves the equation
+      // with at most one unknown. (EVENODD's S-coupling and liberation's
+      // extra bits legitimately revisit a disk.)
+      EXPECT_EQ(cols.size(), q.sources.size())
+          << name << " equation crosses a disk twice";
+    }
+  }
+}
+
+TEST_P(LayoutStructure, ParityDistributionMatchesFamily) {
+  const auto& [name, p] = GetParam();
+  const CodeLayout& l = *layout_;
+  std::vector<int> per_disk(static_cast<size_t>(l.cols()));
+  for (int d = 0; d < l.cols(); ++d) per_disk[static_cast<size_t>(d)] = l.parity_elements_on_disk(d);
+
+  if (name == "dcode" || name == "xcode" || name == "hdp") {
+    // Perfectly even: the vertical well-balanced codes.
+    for (int d = 0; d < l.cols(); ++d) EXPECT_EQ(per_disk[static_cast<size_t>(d)], 2);
+  } else if (name == "rdp" || name == "evenodd" || name == "liberation") {
+    // Two dedicated parity disks, the rest pure data.
+    int dedicated = 0;
+    for (int d = 0; d < l.cols(); ++d) {
+      if (per_disk[static_cast<size_t>(d)] == l.rows()) {
+        ++dedicated;
+      } else {
+        EXPECT_EQ(per_disk[static_cast<size_t>(d)], 0);
+      }
+    }
+    EXPECT_EQ(dedicated, 2);
+  } else if (name == "hcode") {
+    // One dedicated horizontal disk; anti-diagonal parities on disks
+    // 1..p-1 (one each); disk 0 pure data.
+    EXPECT_EQ(per_disk[static_cast<size_t>(l.cols() - 1)], l.rows());
+    EXPECT_EQ(per_disk[0], 0);
+    for (int d = 1; d < l.cols() - 1; ++d) EXPECT_EQ(per_disk[static_cast<size_t>(d)], 1);
+  } else if (name == "pcode") {
+    // One parity per disk, all in row 0.
+    for (int d = 0; d < l.cols(); ++d) {
+      EXPECT_EQ(per_disk[static_cast<size_t>(d)], 1);
+      EXPECT_TRUE(l.is_parity(0, d));
+    }
+  }
+}
+
+TEST_P(LayoutStructure, UpdateComplexity) {
+  const auto& [name, p] = GetParam();
+  const CodeLayout& l = *layout_;
+  // Membership count per data element == number of parities a data update
+  // must touch directly.
+  int min_m = 1 << 30, max_m = 0;
+  int64_t total = 0;
+  for (int i = 0; i < l.data_count(); ++i) {
+    Element e = l.data_element(i);
+    int m = static_cast<int>(l.equations_containing(e.row, e.col).size());
+    min_m = std::min(min_m, m);
+    max_m = std::max(max_m, m);
+    total += m;
+  }
+  if (name == "dcode" || name == "xcode" || name == "hcode" ||
+      name == "hdp" || name == "pcode") {
+    // Optimal: exactly two parities per data element.
+    EXPECT_EQ(min_m, 2);
+    EXPECT_EQ(max_m, 2);
+  } else if (name == "rdp") {
+    // Elements on the missing diagonal have only their row parity.
+    EXPECT_EQ(min_m, 1);
+    EXPECT_EQ(max_m, 2);
+  } else if (name == "evenodd") {
+    // S-diagonal elements sit in every diagonal equation.
+    EXPECT_EQ(min_m, 2);
+    EXPECT_EQ(max_m, 1 + (p - 1));
+  } else if (name == "liberation") {
+    // Minimum density: p-1 data bits carry one extra Q membership.
+    EXPECT_EQ(min_m, 2);
+    EXPECT_EQ(max_m, 3);
+    EXPECT_EQ(total, static_cast<int64_t>(2) * l.data_count() + (p - 1));
+  }
+}
+
+TEST_P(LayoutStructure, EncodeXorCountMatchesTheory) {
+  const auto& [name, p] = GetParam();
+  const CodeLayout& l = *layout_;
+  size_t xors = encode_xor_count(l);
+  if (name == "dcode" || name == "xcode") {
+    // Paper §III-D: 2n(n-3) XORs per stripe -> 2 - 2/(n-2) per element.
+    EXPECT_EQ(xors, static_cast<size_t>(2 * p * (p - 3)));
+    double per_element = static_cast<double>(xors) / l.data_count();
+    EXPECT_NEAR(per_element, 2.0 - 2.0 / (p - 2), 1e-12);
+  } else if (name == "rdp") {
+    // RDP is XOR-optimal too: 2(p-1)(p-2) per stripe.
+    EXPECT_EQ(xors, static_cast<size_t>(2 * (p - 1) * (p - 2)));
+    double per_element = static_cast<double>(xors) / l.data_count();
+    EXPECT_NEAR(per_element, 2.0 - 2.0 / (p - 1), 1e-12);
+  }
+}
+
+TEST_P(LayoutStructure, EncodeOrderIsTopological) {
+  const CodeLayout& l = *layout_;
+  std::set<Element> computed;
+  const auto& order = l.encode_order();
+  EXPECT_EQ(order.size(), l.equations().size());
+  for (int qi : order) {
+    const Equation& q = l.equations()[static_cast<size_t>(qi)];
+    for (const Element& e : q.sources) {
+      if (l.is_parity(e.row, e.col)) {
+        EXPECT_TRUE(computed.count(e))
+            << "equation " << qi << " reads an uncomputed parity";
+      }
+    }
+    computed.insert(q.parity);
+  }
+}
+
+TEST_P(LayoutStructure, ElementsOnDisk) {
+  const CodeLayout& l = *layout_;
+  auto elems = l.elements_on_disk(0);
+  ASSERT_EQ(static_cast<int>(elems.size()), l.rows());
+  for (int r = 0; r < l.rows(); ++r) {
+    EXPECT_EQ(elems[static_cast<size_t>(r)], make_element(r, 0));
+  }
+}
+
+// ---------- construction validation ----------
+
+TEST(LayoutValidation, PCodePairingStructure) {
+  // The defining property of P-Code: data cells are exactly the pairs
+  // {i, j} with i + j == column-label (mod p), each pair appearing once,
+  // and each data element is a member of precisely the two parity groups
+  // named by its pair.
+  for (int p : {5, 7, 11, 13}) {
+    PCodeLayout l(p);
+    std::set<std::pair<int, int>> seen;
+    for (int i = 0; i < l.data_count(); ++i) {
+      Element e = l.data_element(i);
+      auto pr = l.pair_of(e.row, e.col);
+      EXPECT_LT(pr.first, pr.second);
+      EXPECT_GE(pr.first, 1);
+      EXPECT_LE(pr.second, p - 1);
+      EXPECT_TRUE(seen.insert(pr).second) << "duplicate pair";
+      EXPECT_EQ(pmod(pr.first + pr.second, p), e.col + 1);
+      auto eqs = l.equations_containing(e.row, e.col);
+      std::set<int> got(eqs.begin(), eqs.end());
+      std::set<int> want = {pr.first - 1, pr.second - 1};
+      EXPECT_EQ(got, want);
+    }
+    EXPECT_EQ(seen.size(),
+              static_cast<size_t>((p - 1) * (p - 3) / 2));
+  }
+}
+
+TEST(LayoutValidation, NonPrimeRejected) {
+  for (const auto& name : all_code_names()) {
+    EXPECT_THROW((void)make_layout(name, 9), std::logic_error) << name;
+    EXPECT_THROW((void)make_layout(name, 15), std::logic_error) << name;
+  }
+}
+
+TEST(LayoutValidation, TooSmallRejected) {
+  EXPECT_THROW(DCodeLayout(3), std::logic_error);
+  EXPECT_THROW(DCodeLayout(2), std::logic_error);
+  EXPECT_THROW(XCodeLayout(3), std::logic_error);
+}
+
+TEST(LayoutValidation, UnknownNameRejected) {
+  EXPECT_THROW((void)make_layout("raid5", 7), std::logic_error);
+}
+
+TEST(LayoutValidation, RegistryCoversAllNamesAndIds) {
+  for (const auto& name : all_code_names()) {
+    auto l = make_layout(name, 7);
+    EXPECT_EQ(l->name(), name);
+  }
+  for (CodeId id : {CodeId::kDCode, CodeId::kXCode, CodeId::kRdp,
+                    CodeId::kEvenOdd, CodeId::kHCode, CodeId::kHdp}) {
+    EXPECT_NE(make_layout(id, 7), nullptr);
+  }
+  EXPECT_EQ(paper_comparison_codes().size(), 5u);
+}
+
+// ---------- D-Code paper examples (n = 7) ----------
+
+TEST(DCodePaper, HorizontalExampleP51) {
+  // §III-A: P[5][1] = D[1][3] ^ D[1][4] ^ D[1][5] ^ D[1][6] ^ D[2][0].
+  DCodeLayout l(7);
+  const Equation& q = l.equations()[1];  // horizontal equation of column 1
+  EXPECT_EQ(q.parity, make_element(5, 1));
+  std::set<Element> want = {make_element(1, 3), make_element(1, 4),
+                            make_element(1, 5), make_element(1, 6),
+                            make_element(2, 0)};
+  EXPECT_EQ(std::set<Element>(q.sources.begin(), q.sources.end()), want);
+}
+
+TEST(DCodePaper, DeploymentExampleP62) {
+  // §III-A: P[6][2] = D[0][0] ^ D[0][6] ^ D[1][5] ^ D[2][4] ^ D[3][3].
+  DCodeLayout l(7);
+  const Equation& q = l.equations()[7 + 2];  // deployment equation, col 2
+  EXPECT_EQ(q.parity, make_element(6, 2));
+  std::set<Element> want = {make_element(0, 0), make_element(0, 6),
+                            make_element(1, 5), make_element(2, 4),
+                            make_element(3, 3)};
+  EXPECT_EQ(std::set<Element>(q.sources.begin(), q.sources.end()), want);
+}
+
+TEST(DCodePaper, HorizontalGroupsAreConsecutiveRowMajorChunks) {
+  // Group 2 of n=7 must be the 10th..14th row-major data elements.
+  auto groups = DCodeLayout::horizontal_groups(7);
+  ASSERT_EQ(groups.size(), 7u);
+  std::vector<Element> want = {make_element(1, 3), make_element(1, 4),
+                               make_element(1, 5), make_element(1, 6),
+                               make_element(2, 0)};
+  EXPECT_EQ(groups[2], want);
+  EXPECT_EQ(DCodeLayout::horizontal_parity_col(7, 2), 1);
+}
+
+TEST(DCodePaper, DeploymentWalkMatchesFigure) {
+  // Letter 'A' (group 0): D00, D06, D15, D24, D33 -> parity column 2.
+  auto groups = DCodeLayout::deployment_groups(7);
+  ASSERT_EQ(groups.size(), 7u);
+  std::vector<Element> want = {make_element(0, 0), make_element(0, 6),
+                               make_element(1, 5), make_element(2, 4),
+                               make_element(3, 3)};
+  EXPECT_EQ(groups[0], want);
+  EXPECT_EQ(DCodeLayout::deployment_parity_col(7, 0), 2);
+  // Letter 'B' (group 1): D42, D01, D10, D16, D25 -> parity column 4.
+  std::vector<Element> want_b = {make_element(4, 2), make_element(0, 1),
+                                 make_element(1, 0), make_element(1, 6),
+                                 make_element(2, 5)};
+  EXPECT_EQ(groups[1], want_b);
+  EXPECT_EQ(DCodeLayout::deployment_parity_col(7, 1), 4);
+}
+
+class DCodeConstructions : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Primes, DCodeConstructions,
+                         ::testing::Values(5, 7, 11, 13, 17, 19));
+
+TEST_P(DCodeConstructions, ProceduralEqualsClosedForm) {
+  const int n = GetParam();
+  DCodeLayout l(n);
+  auto hg = DCodeLayout::horizontal_groups(n);
+  auto dg = DCodeLayout::deployment_groups(n);
+
+  for (int g = 0; g < n; ++g) {
+    int hc = DCodeLayout::horizontal_parity_col(n, g);
+    const Equation& hq = l.equations()[static_cast<size_t>(hc)];
+    EXPECT_EQ(std::set<Element>(hq.sources.begin(), hq.sources.end()),
+              std::set<Element>(hg[static_cast<size_t>(g)].begin(),
+                                hg[static_cast<size_t>(g)].end()))
+        << "horizontal group " << g;
+
+    int dc = DCodeLayout::deployment_parity_col(n, g);
+    const Equation& dq = l.equations()[static_cast<size_t>(n + dc)];
+    EXPECT_EQ(std::set<Element>(dq.sources.begin(), dq.sources.end()),
+              std::set<Element>(dg[static_cast<size_t>(g)].begin(),
+                                dg[static_cast<size_t>(g)].end()))
+        << "deployment group " << g;
+  }
+}
+
+TEST_P(DCodeConstructions, WalksCoverEveryDataElementOnce) {
+  const int n = GetParam();
+  for (auto groups :
+       {DCodeLayout::horizontal_groups(n), DCodeLayout::deployment_groups(n)}) {
+    std::set<Element> seen;
+    size_t total = 0;
+    for (const auto& g : groups) {
+      EXPECT_EQ(static_cast<int>(g.size()), n - 2);
+      for (const Element& e : g) {
+        EXPECT_TRUE(seen.insert(e).second) << "element visited twice";
+        EXPECT_LE(e.row, n - 3);
+      }
+      total += g.size();
+    }
+    EXPECT_EQ(total, static_cast<size_t>(n * (n - 2)));
+  }
+}
+
+TEST_P(DCodeConstructions, HorizontalGroupsCoverConsecutiveLogicalElements) {
+  // The property that drives low partial-write cost: each horizontal
+  // parity covers exactly n-2 *consecutive* elements of the logical
+  // stream.
+  const int n = GetParam();
+  DCodeLayout l(n);
+  for (int g = 0; g < n; ++g) {
+    int col = DCodeLayout::horizontal_parity_col(n, g);
+    const Equation& q = l.equations()[static_cast<size_t>(col)];
+    std::vector<int> ids;
+    for (const Element& e : q.sources) ids.push_back(l.data_index(e.row, e.col));
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 1; i < ids.size(); ++i) {
+      EXPECT_EQ(ids[i], ids[i - 1] + 1) << "group " << g << " not contiguous";
+    }
+    EXPECT_EQ(ids.front(), g * (n - 2));
+  }
+}
+
+TEST_P(DCodeConstructions, Theorem1ColumnReorderingOfXCode) {
+  // Paper Theorem 1: relabeling X-Code's data element (i, j) to row
+  // ((n-3)/2 * (j - i)) mod (n-2) (same column) yields D-Code, parity rows
+  // unchanged. Encode the same logical content through both and compare
+  // parities.
+  const int n = GetParam();
+  DCodeLayout dl(n);
+  XCodeLayout xl(n);
+  Pcg32 rng(static_cast<uint64_t>(n));
+  const size_t esize = 24;
+
+  Stripe xs(xl, esize);
+  xs.randomize_data(rng);
+  encode_stripe(xs);
+
+  Stripe ds(dl, esize);
+  const int half = (n - 3) / 2;
+  for (int i = 0; i <= n - 3; ++i) {
+    for (int j = 0; j < n; ++j) {
+      int di = pmod(static_cast<int64_t>(half) * (j - i), n - 2);
+      std::memcpy(ds.at(di, j), xs.at(i, j), esize);
+    }
+  }
+  encode_stripe(ds);
+
+  for (int c = 0; c < n; ++c) {
+    EXPECT_EQ(0, std::memcmp(ds.at(n - 2, c), xs.at(n - 2, c), esize))
+        << "horizontal/diagonal parity mismatch at column " << c;
+    EXPECT_EQ(0, std::memcmp(ds.at(n - 1, c), xs.at(n - 1, c), esize))
+        << "deployment/anti-diagonal parity mismatch at column " << c;
+  }
+}
+
+}  // namespace
+}  // namespace dcode::codes

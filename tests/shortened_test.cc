@@ -1,0 +1,115 @@
+// Tests for code shortening (arbitrary disk counts over the horizontal
+// families): structure, exhaustive MDS of shortened layouts, end-to-end
+// array operation, and rejection of the unshortenable vertical families.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/registry.h"
+#include "codes/shortened.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+namespace dcode::codes {
+namespace {
+
+TEST(Shortened, DroppableColumnCounts) {
+  // Horizontal families: every data column is droppable. Vertical
+  // families (parity on every disk): none are.
+  EXPECT_EQ(droppable_columns(*make_layout("rdp", 7)), 6);
+  EXPECT_EQ(droppable_columns(*make_layout("evenodd", 7)), 7);
+  EXPECT_EQ(droppable_columns(*make_layout("hcode", 7)), 1);  // column 0
+  EXPECT_EQ(droppable_columns(*make_layout("dcode", 7)), 0);
+  EXPECT_EQ(droppable_columns(*make_layout("xcode", 7)), 0);
+  EXPECT_EQ(droppable_columns(*make_layout("hdp", 7)), 0);
+  EXPECT_EQ(droppable_columns(*make_layout("pcode", 7)), 0);
+}
+
+TEST(Shortened, StructurePreservedAfterRemap) {
+  auto base = make_layout("rdp", 11);  // 12 disks
+  ShortenedLayout l(*base, 4);         // down to 8
+  EXPECT_EQ(l.cols(), 8);
+  EXPECT_EQ(l.rows(), base->rows());
+  EXPECT_EQ(l.name(), "rdp-short");
+  EXPECT_EQ(l.dropped_columns(), 4);
+  // Parity disks slid left but are still the last two columns.
+  EXPECT_EQ(l.parity_elements_on_disk(6), l.rows());
+  EXPECT_EQ(l.parity_elements_on_disk(7), l.rows());
+  for (int d = 0; d < 6; ++d) EXPECT_EQ(l.parity_elements_on_disk(d), 0);
+  // Fewer data elements, same parity count.
+  EXPECT_EQ(l.data_count(), base->data_count() - 4 * base->rows());
+  EXPECT_EQ(l.parity_count(), base->parity_count());
+}
+
+TEST(Shortened, MakeShortenedHitsExactDiskCounts) {
+  for (int disks = 6; disks <= 16; ++disks) {
+    auto l = make_shortened_layout("evenodd", disks);
+    EXPECT_EQ(l->cols(), disks) << "evenodd " << disks;
+  }
+}
+
+TEST(Shortened, VerticalFamiliesRejected) {
+  EXPECT_THROW((void)make_shortened_layout("dcode", 8), std::logic_error);
+  EXPECT_THROW((void)make_shortened_layout("xcode", 9), std::logic_error);
+  EXPECT_THROW((void)make_shortened_layout("hdp", 8), std::logic_error);
+  EXPECT_THROW((void)make_shortened_layout("pcode", 9), std::logic_error);
+}
+
+TEST(Shortened, ExactPrimeFitNeedsNoShortening) {
+  auto l = make_shortened_layout("dcode", 7);  // 7 is prime: exact fit
+  EXPECT_EQ(l->name(), "dcode");
+  EXPECT_EQ(l->cols(), 7);
+}
+
+class ShortenedMds : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+INSTANTIATE_TEST_SUITE_P(
+    Families, ShortenedMds,
+    ::testing::Combine(::testing::Values("rdp", "evenodd"),
+                       ::testing::Values(6, 8, 9, 10, 12)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ShortenedMds, EveryDoubleDiskFailureDecodes) {
+  auto layout = make_shortened_layout(std::get<0>(GetParam()),
+                                      std::get<1>(GetParam()));
+  Pcg32 rng(9);
+  Stripe s(*layout, 16);
+  s.randomize_data(rng);
+  encode_stripe(s);
+  for (int f1 = 0; f1 < layout->cols(); ++f1) {
+    for (int f2 = f1 + 1; f2 < layout->cols(); ++f2) {
+      Stripe broken = s.clone();
+      broken.erase_disk(f1);
+      broken.erase_disk(f2);
+      int disks[2] = {f1, f2};
+      auto lost = elements_of_disks(*layout, disks);
+      auto res = hybrid_decode(broken, lost);
+      ASSERT_TRUE(res.success) << f1 << "," << f2;
+      ASSERT_TRUE(broken.equals(s)) << f1 << "," << f2;
+    }
+  }
+}
+
+TEST(Shortened, ArrayEndToEndOnNonPrimeDiskCount) {
+  raid::Raid6Array array(make_shortened_layout("evenodd", 10), 256, 4, 2);
+  Pcg32 rng(10);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+  array.fail_disk(1);
+  array.fail_disk(6);
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);
+  EXPECT_EQ(out, blob);
+  array.replace_disk(1);
+  array.replace_disk(6);
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), 0);
+}
+
+}  // namespace
+}  // namespace dcode::codes

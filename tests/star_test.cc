@@ -1,0 +1,116 @@
+// Tests for the STAR code: exhaustive TRIPLE-failure tolerance, structure,
+// and end-to-end triple-failure operation of the byte-level array.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codes/decoder.h"
+#include "codes/encoder.h"
+#include "codes/registry.h"
+#include "codes/star.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+namespace dcode::codes {
+namespace {
+
+class StarMds : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Primes, StarMds, ::testing::Values(5, 7, 11));
+
+TEST_P(StarMds, EveryTripleDiskFailureDecodes) {
+  const int p = GetParam();
+  StarLayout layout(p);
+  EXPECT_EQ(layout.fault_tolerance(), 3);
+  Pcg32 rng(static_cast<uint64_t>(p));
+  Stripe s(layout, 16);
+  s.randomize_data(rng);
+  encode_stripe(s);
+
+  for (int f1 = 0; f1 < layout.cols(); ++f1) {
+    for (int f2 = f1 + 1; f2 < layout.cols(); ++f2) {
+      for (int f3 = f2 + 1; f3 < layout.cols(); ++f3) {
+        Stripe broken = s.clone();
+        broken.erase_disk(f1);
+        broken.erase_disk(f2);
+        broken.erase_disk(f3);
+        int disks[3] = {f1, f2, f3};
+        auto lost = elements_of_disks(layout, disks);
+        auto res = hybrid_decode(broken, lost);
+        ASSERT_TRUE(res.success) << f1 << "," << f2 << "," << f3;
+        ASSERT_TRUE(broken.equals(s)) << f1 << "," << f2 << "," << f3;
+      }
+    }
+  }
+}
+
+TEST_P(StarMds, FourDiskFailuresRejected) {
+  const int p = GetParam();
+  StarLayout layout(p);
+  int disks[4] = {0, 1, 2, 3};
+  auto lost = elements_of_disks(layout, disks);
+  EXPECT_FALSE(is_recoverable(layout, lost));
+}
+
+TEST(Star, Structure) {
+  StarLayout l(7);
+  EXPECT_EQ(l.rows(), 6);
+  EXPECT_EQ(l.cols(), 10);
+  EXPECT_EQ(l.data_count(), 42);
+  EXPECT_EQ(l.parity_count(), 18);
+  // Three dedicated parity disks, the rest pure data.
+  for (int d = 0; d < 7; ++d) EXPECT_EQ(l.parity_elements_on_disk(d), 0);
+  for (int d = 7; d < 10; ++d) EXPECT_EQ(l.parity_elements_on_disk(d), 6);
+  // Registry knows it.
+  EXPECT_EQ(make_layout("star", 7)->name(), "star");
+  EXPECT_EQ(make_layout(CodeId::kStar, 7)->fault_tolerance(), 3);
+  // RAID-6 codes still declare tolerance 2.
+  EXPECT_EQ(make_layout("dcode", 7)->fault_tolerance(), 2);
+}
+
+TEST(Star, ArraySurvivesTripleFailureEndToEnd) {
+  raid::Raid6Array array(make_layout("star", 7), 256, 4, 2);
+  Pcg32 rng(1);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  array.fail_disk(0);
+  array.fail_disk(4);
+  array.fail_disk(8);
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);
+  EXPECT_EQ(out, blob) << "triple-degraded read";
+
+  array.replace_disk(0);
+  array.replace_disk(4);
+  array.replace_disk(8);
+  array.rebuild();
+  EXPECT_EQ(array.scrub(), 0);
+  array.read(0, out);
+  EXPECT_EQ(out, blob);
+
+  // A fourth failure is beyond STAR.
+  array.fail_disk(1);
+  array.fail_disk(2);
+  array.fail_disk(3);
+  array.fail_disk(5);
+  EXPECT_THROW(array.read(0, out), std::logic_error);
+}
+
+TEST(Star, EvenOddIsStarWithoutTheThirdColumn) {
+  // Dropping STAR's anti-diagonal column yields EVENODD's equations
+  // exactly (same classes, same S1 adjuster).
+  StarLayout star(7);
+  auto evenodd = make_layout("evenodd", 7);
+  // Row + diagonal equations (the first 2(p-1)) must match EVENODD's.
+  const auto& se = star.equations();
+  const auto& ee = evenodd->equations();
+  ASSERT_GE(se.size(), ee.size());
+  for (size_t i = 0; i < ee.size(); ++i) {
+    EXPECT_EQ(se[i].parity, ee[i].parity) << i;
+    EXPECT_EQ(se[i].sources, ee[i].sources) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcode::codes

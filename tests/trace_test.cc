@@ -1,0 +1,86 @@
+// Tests for the trace file format: round-trips, comment/blank handling,
+// strict parse errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+
+namespace dcode::sim {
+namespace {
+
+TEST(Trace, RoundTripPreservesEverything) {
+  WorkloadParams p;
+  p.operations = 200;
+  p.start_space = 100;
+  auto ops = generate_workload(WorkloadKind::kMixed, p);
+
+  std::ostringstream out;
+  save_trace(ops, out);
+  std::istringstream in(out.str());
+  auto loaded = load_trace(in);
+
+  ASSERT_EQ(loaded.size(), ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(loaded[i].is_write, ops[i].is_write) << i;
+    EXPECT_EQ(loaded[i].start, ops[i].start) << i;
+    EXPECT_EQ(loaded[i].len, ops[i].len) << i;
+    EXPECT_EQ(loaded[i].times, ops[i].times) << i;
+  }
+}
+
+TEST(Trace, CommentsBlanksAndCaseAccepted) {
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "R 0 4\n"
+      "w 10 2 5   # inline comment\n"
+      "   \n"
+      "r 3 1 1\n");
+  auto ops = load_trace(in);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_FALSE(ops[0].is_write);
+  EXPECT_EQ(ops[0].start, 0);
+  EXPECT_EQ(ops[0].len, 4);
+  EXPECT_EQ(ops[0].times, 1);  // default
+  EXPECT_TRUE(ops[1].is_write);
+  EXPECT_EQ(ops[1].times, 5);
+  EXPECT_FALSE(ops[2].is_write);
+}
+
+TEST(Trace, MalformedLinesRejectedWithLineNumbers) {
+  auto expect_throw_mentioning = [](const std::string& text,
+                                    const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      (void)load_trace(in);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw_mentioning("X 0 4\n", "line 1");
+  expect_throw_mentioning("R 0\n", "line 1");
+  expect_throw_mentioning("R 0 4 2 junk\n", "trailing");
+  expect_throw_mentioning("R -5 4\n", "out of range");
+  expect_throw_mentioning("W 0 0\n", "out of range");
+  expect_throw_mentioning("R 1 1\nW 2\n", "line 2");
+}
+
+TEST(Trace, MissingFileRejected) {
+  EXPECT_THROW((void)load_trace_file("/nonexistent/path/ops.trace"),
+               std::logic_error);
+}
+
+TEST(Trace, FileRoundTrip) {
+  std::vector<Op> ops = {{false, 7, 3, 1}, {true, 0, 20, 999}};
+  const std::string path = "/tmp/dcode_trace_test.trace";
+  save_trace_file(ops, path);
+  auto loaded = load_trace_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].times, 999);
+}
+
+}  // namespace
+}  // namespace dcode::sim

@@ -1,0 +1,321 @@
+// Unit tests for src/util: modular arithmetic, primes, RNG, aligned
+// buffers, thread pool, statistics, and table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+#include "util/modmath.h"
+#include "util/primes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dcode {
+namespace {
+
+// ---------- modmath ----------
+
+TEST(ModMath, PmodMatchesMathematicalResidue) {
+  for (int n : {2, 3, 5, 7, 11, 13}) {
+    for (int x = -3 * n; x <= 3 * n; ++x) {
+      int r = pmod(x, n);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, n);
+      EXPECT_EQ((x - r) % n, 0) << "x=" << x << " n=" << n;
+    }
+  }
+}
+
+TEST(ModMath, PmodHandlesLargeMagnitudes) {
+  EXPECT_EQ(pmod(int64_t{1} << 40, 7), (1LL << 40) % 7);
+  EXPECT_EQ(pmod(-(int64_t{1} << 40), 7), pmod(-((1LL << 40) % 7), 7));
+}
+
+TEST(ModMath, InverseIsInverse) {
+  for (int p : {5, 7, 11, 13, 17}) {
+    for (int a = 1; a < p; ++a) {
+      EXPECT_EQ(pmod(static_cast<int64_t>(a) * mod_inverse(a, p), p), 1)
+          << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(ModMath, ModPowAgreesWithRepeatedMultiplication) {
+  for (int p : {7, 13}) {
+    for (int x = 0; x < p; ++x) {
+      int64_t acc = 1;
+      for (int e = 0; e <= 8; ++e) {
+        EXPECT_EQ(mod_pow(x, e, p), static_cast<int>(acc));
+        acc = acc * x % p;
+      }
+    }
+  }
+}
+
+// ---------- primes ----------
+
+TEST(Primes, IsPrimeAgainstSieve) {
+  std::vector<bool> composite(1000, false);
+  for (int i = 2; i < 1000; ++i) {
+    if (composite[static_cast<size_t>(i)]) continue;
+    for (int j = 2 * i; j < 1000; j += i) composite[static_cast<size_t>(j)] = true;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(is_prime(i), i >= 2 && !composite[static_cast<size_t>(i)])
+        << "i=" << i;
+  }
+}
+
+TEST(Primes, RangeEnumeration) {
+  EXPECT_EQ(primes_in_range(5, 13), (std::vector<int>{5, 7, 11, 13}));
+  EXPECT_TRUE(primes_in_range(24, 28).empty());
+  EXPECT_EQ(primes_in_range(2, 2), std::vector<int>{2});
+}
+
+TEST(Primes, NextPrime) {
+  EXPECT_EQ(next_prime(-5), 2);
+  EXPECT_EQ(next_prime(6), 7);
+  EXPECT_EQ(next_prime(7), 7);
+  EXPECT_EQ(next_prime(14), 17);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Pcg32 a(123, 1), b(123, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u32() == b.next_u32();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversIt) {
+  Pcg32 rng(99);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Pcg32 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int v = rng.next_in_range(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    saw_lo |= v == 3;
+    saw_hi |= v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, FillBytesCoversOddLengths) {
+  Pcg32 rng(1);
+  for (size_t len : {0u, 1u, 3u, 4u, 7u, 31u, 64u}) {
+    std::vector<uint8_t> buf(len + 4, 0xAA);
+    rng.fill_bytes(buf.data(), len);
+    // Guard bytes untouched.
+    for (size_t i = len; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0xAA);
+  }
+}
+
+TEST(Rng, RoughlyUniformDoubles) {
+  Pcg32 rng(77);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+// ---------- aligned buffer ----------
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  for (size_t sz : {1u, 63u, 64u, 65u, 4096u}) {
+    AlignedBuffer b(sz);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % AlignedBuffer::kAlignment,
+              0u);
+    EXPECT_EQ(b.size(), sz);
+    for (size_t i = 0; i < sz; ++i) EXPECT_EQ(b[i], 0);
+  }
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(128);
+  a[0] = 42;
+  uint8_t* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer c(16);
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c.size(), 128u);
+}
+
+TEST(AlignedBuffer, ZeroClears) {
+  AlignedBuffer a(64);
+  for (size_t i = 0; i < 64; ++i) a[i] = static_cast<uint8_t>(i + 1);
+  a.zero();
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(a[i], 0);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer a;
+  EXPECT_TRUE(a.empty());
+  AlignedBuffer b(std::move(a));
+  EXPECT_TRUE(b.empty());
+}
+
+// ---------- thread pool ----------
+
+TEST(ThreadPool, RunsEveryIterationExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedCoversRangeWithoutOverlap) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  pool.parallel_for_chunked(101, [&](size_t begin, size_t end) {
+    EXPECT_LE(begin, end);
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 101u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](size_t i) {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(8, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for_chunked(10, [&](size_t, size_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(17, [&](size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 17);
+  }
+}
+
+// ---------- stats ----------
+
+TEST(Stats, BasicMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Stats, MergeMatchesSequential) {
+  Pcg32 rng(3);
+  Accumulator all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.next_double() * 100;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+// ---------- table ----------
+
+TEST(Table, AlignsAndPrints) {
+  TablePrinter t({"code", "p=5", "p=7"});
+  t.add_numeric_row("dcode", {1.0, 2.5});
+  t.add_row({"xcode", "1.00", "9.99"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("dcode"), std::string::npos);
+  EXPECT_NE(s.find("2.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_numeric_row("x", {1.25}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.25\n");
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+  EXPECT_THROW(t.add_numeric_row("x", {1.0, 2.0, 3.0}), std::logic_error);
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    DCODE_CHECK(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dcode
