@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_load.dir/bench_degraded_load.cc.o"
+  "CMakeFiles/bench_degraded_load.dir/bench_degraded_load.cc.o.d"
+  "bench_degraded_load"
+  "bench_degraded_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

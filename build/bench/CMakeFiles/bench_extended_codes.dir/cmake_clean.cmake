@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_codes.dir/bench_extended_codes.cc.o"
+  "CMakeFiles/bench_extended_codes.dir/bench_extended_codes.cc.o.d"
+  "bench_extended_codes"
+  "bench_extended_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebuild_time.dir/bench_rebuild_time.cc.o"
+  "CMakeFiles/bench_rebuild_time.dir/bench_rebuild_time.cc.o.d"
+  "bench_rebuild_time"
+  "bench_rebuild_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebuild_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_io.dir/bench_recovery_io.cc.o"
+  "CMakeFiles/bench_recovery_io.dir/bench_recovery_io.cc.o.d"
+  "bench_recovery_io"
+  "bench_recovery_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

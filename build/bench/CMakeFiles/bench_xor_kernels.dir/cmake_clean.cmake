@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xor_kernels.dir/bench_xor_kernels.cc.o"
+  "CMakeFiles/bench_xor_kernels.dir/bench_xor_kernels.cc.o.d"
+  "bench_xor_kernels"
+  "bench_xor_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xor_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filestore_demo.dir/filestore_demo.cpp.o"
+  "CMakeFiles/filestore_demo.dir/filestore_demo.cpp.o.d"
+  "filestore_demo"
+  "filestore_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filestore_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raidsim.dir/raidsim.cpp.o"
+  "CMakeFiles/raidsim.dir/raidsim.cpp.o.d"
+  "raidsim"
+  "raidsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raidsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_walkthrough.dir/recovery_walkthrough.cpp.o"
+  "CMakeFiles/recovery_walkthrough.dir/recovery_walkthrough.cpp.o.d"
+  "recovery_walkthrough"
+  "recovery_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_code.dir/verify_code.cpp.o"
+  "CMakeFiles/verify_code.dir/verify_code.cpp.o.d"
+  "verify_code"
+  "verify_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

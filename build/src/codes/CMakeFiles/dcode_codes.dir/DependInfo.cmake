@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/code_layout.cc" "src/codes/CMakeFiles/dcode_codes.dir/code_layout.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/code_layout.cc.o.d"
+  "/root/repo/src/codes/dcode.cc" "src/codes/CMakeFiles/dcode_codes.dir/dcode.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/dcode.cc.o.d"
+  "/root/repo/src/codes/dcode_decoder.cc" "src/codes/CMakeFiles/dcode_codes.dir/dcode_decoder.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/dcode_decoder.cc.o.d"
+  "/root/repo/src/codes/decoder.cc" "src/codes/CMakeFiles/dcode_codes.dir/decoder.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/decoder.cc.o.d"
+  "/root/repo/src/codes/encoder.cc" "src/codes/CMakeFiles/dcode_codes.dir/encoder.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/encoder.cc.o.d"
+  "/root/repo/src/codes/evenodd.cc" "src/codes/CMakeFiles/dcode_codes.dir/evenodd.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/evenodd.cc.o.d"
+  "/root/repo/src/codes/hcode.cc" "src/codes/CMakeFiles/dcode_codes.dir/hcode.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/hcode.cc.o.d"
+  "/root/repo/src/codes/hdp.cc" "src/codes/CMakeFiles/dcode_codes.dir/hdp.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/hdp.cc.o.d"
+  "/root/repo/src/codes/liberation.cc" "src/codes/CMakeFiles/dcode_codes.dir/liberation.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/liberation.cc.o.d"
+  "/root/repo/src/codes/pcode.cc" "src/codes/CMakeFiles/dcode_codes.dir/pcode.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/pcode.cc.o.d"
+  "/root/repo/src/codes/rdp.cc" "src/codes/CMakeFiles/dcode_codes.dir/rdp.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/rdp.cc.o.d"
+  "/root/repo/src/codes/registry.cc" "src/codes/CMakeFiles/dcode_codes.dir/registry.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/registry.cc.o.d"
+  "/root/repo/src/codes/shortened.cc" "src/codes/CMakeFiles/dcode_codes.dir/shortened.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/shortened.cc.o.d"
+  "/root/repo/src/codes/star.cc" "src/codes/CMakeFiles/dcode_codes.dir/star.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/star.cc.o.d"
+  "/root/repo/src/codes/stripe.cc" "src/codes/CMakeFiles/dcode_codes.dir/stripe.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/stripe.cc.o.d"
+  "/root/repo/src/codes/xcode.cc" "src/codes/CMakeFiles/dcode_codes.dir/xcode.cc.o" "gcc" "src/codes/CMakeFiles/dcode_codes.dir/xcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcode_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorops/CMakeFiles/dcode_xorops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gf/bitmatrix.cc" "src/gf/CMakeFiles/dcode_gf.dir/bitmatrix.cc.o" "gcc" "src/gf/CMakeFiles/dcode_gf.dir/bitmatrix.cc.o.d"
+  "/root/repo/src/gf/gf.cc" "src/gf/CMakeFiles/dcode_gf.dir/gf.cc.o" "gcc" "src/gf/CMakeFiles/dcode_gf.dir/gf.cc.o.d"
+  "/root/repo/src/gf/gf_matrix.cc" "src/gf/CMakeFiles/dcode_gf.dir/gf_matrix.cc.o" "gcc" "src/gf/CMakeFiles/dcode_gf.dir/gf_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dcode_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorops/CMakeFiles/dcode_xorops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_gf.dir/bitmatrix.cc.o"
+  "CMakeFiles/dcode_gf.dir/bitmatrix.cc.o.d"
+  "CMakeFiles/dcode_gf.dir/gf.cc.o"
+  "CMakeFiles/dcode_gf.dir/gf.cc.o.d"
+  "CMakeFiles/dcode_gf.dir/gf_matrix.cc.o"
+  "CMakeFiles/dcode_gf.dir/gf_matrix.cc.o.d"
+  "libdcode_gf.a"
+  "libdcode_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

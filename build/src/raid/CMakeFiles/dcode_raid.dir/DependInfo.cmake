@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raid/planner.cc" "src/raid/CMakeFiles/dcode_raid.dir/planner.cc.o" "gcc" "src/raid/CMakeFiles/dcode_raid.dir/planner.cc.o.d"
+  "/root/repo/src/raid/raid6_array.cc" "src/raid/CMakeFiles/dcode_raid.dir/raid6_array.cc.o" "gcc" "src/raid/CMakeFiles/dcode_raid.dir/raid6_array.cc.o.d"
+  "/root/repo/src/raid/recovery.cc" "src/raid/CMakeFiles/dcode_raid.dir/recovery.cc.o" "gcc" "src/raid/CMakeFiles/dcode_raid.dir/recovery.cc.o.d"
+  "/root/repo/src/raid/volume_manager.cc" "src/raid/CMakeFiles/dcode_raid.dir/volume_manager.cc.o" "gcc" "src/raid/CMakeFiles/dcode_raid.dir/volume_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/dcode_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorops/CMakeFiles/dcode_xorops.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcode_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_raid.dir/planner.cc.o"
+  "CMakeFiles/dcode_raid.dir/planner.cc.o.d"
+  "CMakeFiles/dcode_raid.dir/raid6_array.cc.o"
+  "CMakeFiles/dcode_raid.dir/raid6_array.cc.o.d"
+  "CMakeFiles/dcode_raid.dir/recovery.cc.o"
+  "CMakeFiles/dcode_raid.dir/recovery.cc.o.d"
+  "CMakeFiles/dcode_raid.dir/volume_manager.cc.o"
+  "CMakeFiles/dcode_raid.dir/volume_manager.cc.o.d"
+  "libdcode_raid.a"
+  "libdcode_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

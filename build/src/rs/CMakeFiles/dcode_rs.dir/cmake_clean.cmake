@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_rs.dir/cauchy_rs.cc.o"
+  "CMakeFiles/dcode_rs.dir/cauchy_rs.cc.o.d"
+  "CMakeFiles/dcode_rs.dir/reed_solomon.cc.o"
+  "CMakeFiles/dcode_rs.dir/reed_solomon.cc.o.d"
+  "libdcode_rs.a"
+  "libdcode_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcode_rs.a"
+)

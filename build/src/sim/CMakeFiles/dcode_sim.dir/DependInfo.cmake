@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disk_model.cc" "src/sim/CMakeFiles/dcode_sim.dir/disk_model.cc.o" "gcc" "src/sim/CMakeFiles/dcode_sim.dir/disk_model.cc.o.d"
+  "/root/repo/src/sim/experiments.cc" "src/sim/CMakeFiles/dcode_sim.dir/experiments.cc.o" "gcc" "src/sim/CMakeFiles/dcode_sim.dir/experiments.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/dcode_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/dcode_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/dcode_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/dcode_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/dcode_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/dcode_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcode_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorops/CMakeFiles/dcode_xorops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_sim.dir/disk_model.cc.o"
+  "CMakeFiles/dcode_sim.dir/disk_model.cc.o.d"
+  "CMakeFiles/dcode_sim.dir/experiments.cc.o"
+  "CMakeFiles/dcode_sim.dir/experiments.cc.o.d"
+  "CMakeFiles/dcode_sim.dir/trace.cc.o"
+  "CMakeFiles/dcode_sim.dir/trace.cc.o.d"
+  "CMakeFiles/dcode_sim.dir/workload.cc.o"
+  "CMakeFiles/dcode_sim.dir/workload.cc.o.d"
+  "libdcode_sim.a"
+  "libdcode_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

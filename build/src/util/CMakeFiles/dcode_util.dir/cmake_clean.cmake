@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_util.dir/primes.cc.o"
+  "CMakeFiles/dcode_util.dir/primes.cc.o.d"
+  "CMakeFiles/dcode_util.dir/table.cc.o"
+  "CMakeFiles/dcode_util.dir/table.cc.o.d"
+  "CMakeFiles/dcode_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dcode_util.dir/thread_pool.cc.o.d"
+  "libdcode_util.a"
+  "libdcode_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_xorops.dir/xor_region.cc.o"
+  "CMakeFiles/dcode_xorops.dir/xor_region.cc.o.d"
+  "libdcode_xorops.a"
+  "libdcode_xorops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_xorops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

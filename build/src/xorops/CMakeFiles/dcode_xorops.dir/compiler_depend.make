@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dcode_xorops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/address_map_test.cc" "tests/CMakeFiles/address_map_test.dir/address_map_test.cc.o" "gcc" "tests/CMakeFiles/address_map_test.dir/address_map_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcode_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/dcode_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/dcode_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/rs/CMakeFiles/dcode_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/dcode_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xorops/CMakeFiles/dcode_xorops.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcode_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_rebuild_test.dir/crash_rebuild_test.cc.o"
+  "CMakeFiles/crash_rebuild_test.dir/crash_rebuild_test.cc.o.d"
+  "crash_rebuild_test"
+  "crash_rebuild_test.pdb"
+  "crash_rebuild_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_rebuild_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcode_decoder_test.dir/dcode_decoder_test.cc.o"
+  "CMakeFiles/dcode_decoder_test.dir/dcode_decoder_test.cc.o.d"
+  "dcode_decoder_test"
+  "dcode_decoder_test.pdb"
+  "dcode_decoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcode_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_write_test.dir/degraded_write_test.cc.o"
+  "CMakeFiles/degraded_write_test.dir/degraded_write_test.cc.o.d"
+  "degraded_write_test"
+  "degraded_write_test.pdb"
+  "degraded_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

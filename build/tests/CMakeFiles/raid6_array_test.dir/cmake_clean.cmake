@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid6_array_test.dir/raid6_array_test.cc.o"
+  "CMakeFiles/raid6_array_test.dir/raid6_array_test.cc.o.d"
+  "raid6_array_test"
+  "raid6_array_test.pdb"
+  "raid6_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid6_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduction_regression_test.dir/reproduction_regression_test.cc.o"
+  "CMakeFiles/reproduction_regression_test.dir/reproduction_regression_test.cc.o.d"
+  "reproduction_regression_test"
+  "reproduction_regression_test.pdb"
+  "reproduction_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

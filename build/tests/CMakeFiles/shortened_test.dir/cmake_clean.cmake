@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortened_test.dir/shortened_test.cc.o"
+  "CMakeFiles/shortened_test.dir/shortened_test.cc.o.d"
+  "shortened_test"
+  "shortened_test.pdb"
+  "shortened_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortened_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xorops_test.dir/xorops_test.cc.o"
+  "CMakeFiles/xorops_test.dir/xorops_test.cc.o.d"
+  "xorops_test"
+  "xorops_test.pdb"
+  "xorops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xorops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

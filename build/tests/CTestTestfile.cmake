@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/xorops_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/rs_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/mds_test[1]_include.cmake")
+include("/root/repo/build/tests/dcode_decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/raid6_array_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/shortened_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/star_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/degraded_write_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/address_map_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_rebuild_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_regression_test[1]_include.cmake")
