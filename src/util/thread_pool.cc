@@ -1,10 +1,30 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/check.h"
 
 namespace dcode {
+namespace {
+
+// Set for the lifetime of a worker thread so parallel_for can detect a
+// nested dispatch onto the pool the caller already serves.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+// Per-dispatch completion ticket. Lives on the dispatching caller's stack;
+// the caller cannot return before `remaining` hits zero, and workers only
+// touch the ticket under its mutex, so the lifetime is safe.
+struct ThreadPool::Batch {
+  explicit Batch(size_t chunks) : remaining(chunks) {}
+
+  std::mutex mu;
+  std::condition_variable done_cv;  // the dispatching caller waits here
+  size_t remaining;
+  std::exception_ptr first_error;
+};
 
 ThreadPool::ThreadPool(unsigned threads) {
   unsigned n = threads != 0 ? threads
@@ -25,6 +45,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -35,25 +56,7 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
     }
     task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) idle_cv_.notify_all();
-    }
   }
-}
-
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++in_flight_;
-    tasks_.push(std::move(task));
-  }
-  task_cv_.notify_one();
-}
-
-void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::parallel_for(size_t count,
@@ -67,8 +70,10 @@ void ThreadPool::parallel_for_chunked(
     size_t count, const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
   const size_t nworkers = workers_.size();
-  // Dispatch is pointless for tiny ranges or a single worker.
-  if (nworkers <= 1 || count == 1) {
+  // Dispatch is pointless for tiny ranges or a single worker, and a
+  // nested dispatch from one of our own workers must not queue: the
+  // worker would block on chunks that need its own queue slot to run.
+  if (nworkers <= 1 || count == 1 || current_pool == this) {
     fn(0, count);
     return;
   }
@@ -77,26 +82,33 @@ void ThreadPool::parallel_for_chunked(
   const size_t base = count / nchunks;
   const size_t extra = count % nchunks;
 
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  size_t begin = 0;
-  for (size_t c = 0; c < nchunks; ++c) {
-    size_t len = base + (c < extra ? 1 : 0);
-    size_t end = begin + len;
-    submit([&fn, &first_error, &error_mu, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-    begin = end;
+  Batch batch(nchunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t begin = 0;
+    for (size_t c = 0; c < nchunks; ++c) {
+      size_t len = base + (c < extra ? 1 : 0);
+      size_t end = begin + len;
+      tasks_.push([&batch, &fn, begin, end] {
+        std::exception_ptr err;
+        try {
+          fn(begin, end);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> batch_lock(batch.mu);
+        if (err && !batch.first_error) batch.first_error = err;
+        if (--batch.remaining == 0) batch.done_cv.notify_all();
+      });
+      begin = end;
+    }
+    DCODE_ASSERT(begin == count, "chunking must cover the whole range");
   }
-  DCODE_ASSERT(begin == count, "chunking must cover the whole range");
-  wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  task_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done_cv.wait(lock, [&batch] { return batch.remaining == 0; });
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
 }
 
 }  // namespace dcode

@@ -5,11 +5,18 @@
 // futures, no work stealing. Tasks must not throw across the boundary;
 // exceptions are captured and rethrown on the calling thread (first one
 // wins), matching how a RAID rebuild would surface a fault.
+//
+// Completion is tracked per dispatch, not pool-wide: every parallel_for
+// call owns a completion ticket (`Batch`) counting only its own chunks, so
+// concurrent callers never block on each other's work and an exception is
+// attributed to the call whose task threw. A nested parallel_for issued
+// from inside one of this pool's workers runs inline on that worker —
+// queueing it would deadlock, since the worker would wait on chunks that
+// need its own queue slot to drain.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,7 +38,8 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, count), partitioned into contiguous chunks,
   // and blocks until all iterations complete. Runs inline when the pool
-  // has a single worker or the range is tiny (avoids dispatch overhead).
+  // has a single worker, the range is tiny (avoids dispatch overhead), or
+  // the caller is itself one of this pool's workers.
   void parallel_for(size_t count, const std::function<void(size_t)>& fn);
 
   // Like parallel_for but hands each worker a [begin, end) slice; useful
@@ -40,16 +48,14 @@ class ThreadPool {
       size_t count, const std::function<void(size_t, size_t)>& fn);
 
  private:
+  struct Batch;  // per-dispatch completion ticket (defined in the .cc)
+
   void worker_loop();
-  void submit(std::function<void()> task);
-  void wait_idle();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
-  std::condition_variable task_cv_;   // workers wait for tasks
-  std::condition_variable idle_cv_;   // callers wait for completion
-  size_t in_flight_ = 0;
+  std::condition_variable task_cv_;  // workers wait for tasks
   bool stopping_ = false;
 };
 

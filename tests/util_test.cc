@@ -6,6 +6,8 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/aligned_buffer.h"
 #include "util/check.h"
@@ -243,6 +245,99 @@ TEST(ThreadPool, ReusableAcrossManyRounds) {
     pool.parallel_for(17, [&](size_t) { n.fetch_add(1); });
     ASSERT_EQ(n.load(), 17);
   }
+}
+
+// Regression: the original pool tracked completion with one global
+// in-flight counter, so a nested parallel_for from inside a worker waited
+// for its own chunk to retire and deadlocked.
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.parallel_for(4, [&](size_t) {
+    pool.parallel_for(8, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(inner.load(), 4 * 8);
+
+  // Deeper nesting (inline all the way down) must also terminate.
+  std::atomic<int> deep{0};
+  pool.parallel_for(2, [&](size_t) {
+    pool.parallel_for(2, [&](size_t) {
+      pool.parallel_for(2, [&](size_t) { deep.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(deep.load(), 8);
+}
+
+// Regression: with a global counter, wait_idle() returned only when *all*
+// callers' tasks had retired, so concurrent callers blocked on each
+// other's work and could wake before their own chunks had run.
+TEST(ThreadPool, ConcurrentCallersCompleteIndependently) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kRounds = 25;
+  constexpr int kItems = 40;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::atomic<int> this_round{0};
+        pool.parallel_for(kItems, [&](size_t) {
+          this_round.fetch_add(1);
+          counts[static_cast<size_t>(t)].fetch_add(1);
+        });
+        // parallel_for returning means *this call's* iterations all ran.
+        ASSERT_EQ(this_round.load(), kItems);
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (auto& c : counts) EXPECT_EQ(c.load(), kRounds * kItems);
+}
+
+// An exception belongs to the call whose task threw; a concurrent healthy
+// call must neither observe it nor lose iterations.
+TEST(ThreadPool, ExceptionAttributedToThrowingCallOnly) {
+  ThreadPool pool(4);
+  std::atomic<int> healthy_iterations{0};
+  std::thread healthy([&] {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_NO_THROW(pool.parallel_for(
+          64, [&](size_t) { healthy_iterations.fetch_add(1); }));
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [](size_t i) {
+                                     if (i % 7 == 0) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+  }
+  healthy.join();
+  EXPECT_EQ(healthy_iterations.load(), 20 * 64);
+}
+
+// A throw inside a nested (inline) parallel_for surfaces on the outermost
+// caller, not std::terminate.
+TEST(ThreadPool, NestedExceptionSurfacesOnOuterCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(6,
+                        [&](size_t i) {
+                          pool.parallel_for(6, [i](size_t j) {
+                            if (i == 2 && j == 3) {
+                              throw std::runtime_error("nested boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+  // Pool remains usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(12, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 12);
 }
 
 // ---------- stats ----------
