@@ -35,7 +35,7 @@ constexpr int mod_inverse(int a, int p) {
 // x^e mod n for small non-negative exponents.
 constexpr int mod_pow(int x, int e, int n) {
   int64_t base = pmod(x, n);
-  int64_t result = 1;
+  int64_t result = 1 % n;  // e == 0 must still reduce (x^0 mod 1 == 0)
   for (; e > 0; e >>= 1) {
     if (e & 1) result = (result * base) % n;
     base = (base * base) % n;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -37,6 +38,40 @@ TEST(ModMath, PmodMatchesMathematicalResidue) {
 TEST(ModMath, PmodHandlesLargeMagnitudes) {
   EXPECT_EQ(pmod(int64_t{1} << 40, 7), (1LL << 40) % 7);
   EXPECT_EQ(pmod(-(int64_t{1} << 40), 7), pmod(-((1LL << 40) % 7), 7));
+}
+
+// The extreme negative values sit one wrong `-x` away from signed
+// overflow; pmod must stay well-defined right up to INT64_MIN.
+TEST(ModMath, PmodAtInt64Extremes) {
+  for (int n : {2, 3, 5, 7, 11, 13}) {
+    for (int64_t k = 0; k < 4; ++k) {
+      const int64_t lo = std::numeric_limits<int64_t>::min() + k;
+      const int r = pmod(lo, n);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, n);
+      // Same residue as the mathematically-reduced value.
+      EXPECT_EQ(r, pmod(lo % n, n)) << "x=min+" << k << " n=" << n;
+
+      const int64_t hi = std::numeric_limits<int64_t>::max() - k;
+      const int rh = pmod(hi, n);
+      EXPECT_GE(rh, 0);
+      EXPECT_LT(rh, n);
+      EXPECT_EQ(rh, static_cast<int>(hi % n)) << "x=max-" << k << " n=" << n;
+    }
+  }
+  static_assert(pmod(std::numeric_limits<int64_t>::min(), 2) == 0);
+}
+
+TEST(ModMath, ModPowZeroExponent) {
+  for (int n : {2, 3, 7, 13}) {
+    for (int x = -5; x <= 5; ++x) {
+      EXPECT_EQ(mod_pow(x, 0, n), 1 % n) << "x=" << x << " n=" << n;
+    }
+  }
+  // x^0 mod 1 is 0, not 1 — the empty product still reduces mod n.
+  EXPECT_EQ(mod_pow(3, 0, 1), 0);
+  EXPECT_EQ(mod_pow(0, 0, 7), 1);  // convention: 0^0 == 1
+  static_assert(mod_pow(5, 0, 7) == 1);
 }
 
 TEST(ModMath, InverseIsInverse) {

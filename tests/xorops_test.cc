@@ -3,6 +3,9 @@
 // unrolled loops, the word loop, and the byte tail.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <span>
+#include <tuple>
 #include <vector>
 
 #include "util/aligned_buffer.h"
@@ -121,6 +124,84 @@ TEST(XorProperties, IsZeroDetectsSingleBit) {
     z[pos] = 1;
     EXPECT_FALSE(is_zero(z.data(), z.size())) << pos;
     z[pos] = 0;
+  }
+}
+
+// The kernels go through memcpy-based word loads, so they must be correct
+// (and sanitizer-clean) for any combination of pointer misalignment and
+// lengths that are not multiples of the word size. Offsets 0..7 for dst
+// and sources cover every relative alignment of the 8-byte loop.
+class XorMisalignment
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(Offsets, XorMisalignment,
+                         ::testing::Combine(::testing::Range<size_t>(0, 8),
+                                            ::testing::Range<size_t>(0, 8)));
+
+// Lengths straddle the unrolled loop (32), the word loop (8), and the
+// byte tail, none of them multiples of 8.
+constexpr size_t kOddLengths[] = {1, 3, 5, 7, 9, 13, 29, 31, 63, 65, 100, 257};
+
+TEST_P(XorMisalignment, FusedKernelsMatchNaive) {
+  const auto [dst_off, src_off] = GetParam();
+  Pcg32 rng(dst_off * 8 + src_off + 1);
+  for (size_t len : kOddLengths) {
+    const size_t span = len + 8;  // room for the offset
+    // Five source regions, each misaligned by src_off from a 64-byte
+    // aligned base, plus a dst region misaligned by dst_off.
+    AlignedBuffer dst_mem(span), naive_mem(span);
+    std::vector<AlignedBuffer> src_mem;
+    std::vector<const uint8_t*> srcs;
+    for (int s = 0; s < 5; ++s) {
+      src_mem.emplace_back(span);
+      rng.fill_bytes(src_mem.back().data(), span);
+      srcs.push_back(src_mem.back().data() + src_off);
+    }
+    rng.fill_bytes(dst_mem.data(), span);
+    std::memcpy(naive_mem.data(), dst_mem.data(), span);
+    uint8_t* dst = dst_mem.data() + dst_off;
+    uint8_t* naive = naive_mem.data() + dst_off;
+
+    // xor_into
+    xor_into(dst, srcs[0], len);
+    xor_into_naive(naive, srcs[0], len);
+    ASSERT_EQ(0, std::memcmp(dst, naive, len))
+        << "xor_into len=" << len << " dst_off=" << dst_off
+        << " src_off=" << src_off;
+
+    // xor2_into
+    xor2_into(dst, srcs[1], srcs[2], len);
+    xor_into_naive(naive, srcs[1], len);
+    xor_into_naive(naive, srcs[2], len);
+    ASSERT_EQ(0, std::memcmp(dst, naive, len)) << "xor2_into len=" << len;
+
+    // xor4_into
+    xor4_into(dst, srcs[1], srcs[2], srcs[3], srcs[4], len);
+    for (int s = 1; s <= 4; ++s) xor_into_naive(naive, srcs[s], len);
+    ASSERT_EQ(0, std::memcmp(dst, naive, len)) << "xor4_into len=" << len;
+
+    // xor_assign
+    xor_assign(dst, srcs[0], srcs[3], len);
+    for (size_t i = 0; i < len; ++i) {
+      naive[i] = static_cast<uint8_t>(srcs[0][i] ^ srcs[3][i]);
+    }
+    ASSERT_EQ(0, std::memcmp(dst, naive, len)) << "xor_assign len=" << len;
+
+    // xor_many across the 4/2/1 grouping boundaries.
+    for (size_t nsrc : {1u, 2u, 3u, 4u, 5u}) {
+      std::span<const uint8_t* const> some(srcs.data(), nsrc);
+      xor_many(dst, some, len);
+      std::memset(naive, 0, len);
+      for (size_t s = 0; s < nsrc; ++s) xor_into_naive(naive, srcs[s], len);
+      ASSERT_EQ(0, std::memcmp(dst, naive, len))
+          << "xor_many nsrc=" << nsrc << " len=" << len;
+    }
+
+    // is_zero must not over-read past a misaligned region.
+    std::memset(dst, 0, len);
+    ASSERT_TRUE(is_zero(dst, len));
+    dst[len - 1] = 1;
+    ASSERT_FALSE(is_zero(dst, len));
   }
 }
 
