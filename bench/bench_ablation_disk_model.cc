@@ -12,7 +12,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_ablation_disk_model", argc, argv);
   print_header("Ablation: disk-model sensitivity (p=11, 500 ops)",
                "ratios > 1.00 mean D-Code is faster.");
 
@@ -40,6 +41,12 @@ int main() {
       double rd = sim::run_degraded_read_experiment(*rl, 7, params, 50)
                       .read_mb_s;
 
+      obs::Labels cell = {{"element_kb", std::to_string(elem_kb)},
+                          {"positioning_ms", format_double(pos_ms, 1)},
+                          {"p", "11"}};
+      telemetry.add("speed_ratio_normal_dcode_rdp", dn / rn, cell);
+      telemetry.add("speed_ratio_degraded_dcode_xcode", dd / xd, cell);
+      telemetry.add("speed_ratio_degraded_rdp_dcode", rd / dd, cell);
       table.add_row({std::to_string(elem_kb) + "KiB",
                      format_double(pos_ms, 1), format_double(dn / rn, 3),
                      format_double(dd / xd, 3), format_double(rd / dd, 3)});
@@ -50,5 +57,6 @@ int main() {
   std::cout << "\nCheck: 'normal d/rdp' and 'degraded d/x' stay > 1 across "
                "the sweep — the paper's orderings are not a calibration "
                "artifact.\n";
+  telemetry.finish();
   return 0;
 }

@@ -12,7 +12,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_ablation_skew", argc, argv);
   print_header("Ablation: start-address skew (mixed workload, p=13)",
                "skew 1.0 = the paper's uniform draw; higher = hotter "
                "hot spot at low addresses.");
@@ -30,6 +31,10 @@ int main() {
       auto res = sim::run_load_experiment(*layout, sim::WorkloadKind::kMixed,
                                           params);
       row.push_back(format_lf(res.load_balancing_factor));
+      telemetry.add("load_balancing_factor", res.load_balancing_factor,
+                    {{"code", name},
+                     {"p", "13"},
+                     {"skew", format_double(skew, 1)}});
     }
     table.add_row(row);
   }
@@ -37,5 +42,6 @@ int main() {
   std::cout << "\nCheck: the vertical codes degrade gracefully (hot data "
                "still implies hot columns), while rdp's parity disks "
                "amplify the skew several-fold.\n";
+  telemetry.finish();
   return 0;
 }

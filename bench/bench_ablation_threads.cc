@@ -3,6 +3,8 @@
 // independent, so rebuild should scale until memory bandwidth saturates.
 #include <benchmark/benchmark.h>
 
+#include "gbench_telemetry.h"
+
 #include <vector>
 
 #include "codes/registry.h"
@@ -65,4 +67,6 @@ BENCHMARK(BM_RebuildTwoDisks)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_Scrub)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcode::bench::run_gbench_with_telemetry("bench_ablation_threads", argc, argv);
+}

@@ -14,7 +14,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_ablation_write_policy", argc, argv);
   print_header("Ablation: write policy (accesses per partial write, p=13)",
                "L = run length in consecutive logical elements starting at "
                "element 0.");
@@ -32,6 +33,15 @@ int main() {
       auto rcw = planner.plan_write(0, len,
                                     raid::WritePolicy::kReconstructWrite);
       auto aut = planner.plan_write(0, len);
+      obs::Labels cell = {{"code", name},
+                          {"p", "13"},
+                          {"run_length", std::to_string(len)}};
+      telemetry.add("write_accesses_rmw", static_cast<double>(rmw.total()),
+                    cell);
+      telemetry.add("write_accesses_rcw", static_cast<double>(rcw.total()),
+                    cell);
+      telemetry.add("write_accesses_auto", static_cast<double>(aut.total()),
+                    cell);
       table.add_row({std::to_string(len), std::to_string(rmw.total()),
                      std::to_string(rcw.total()),
                      std::to_string(aut.total())});
@@ -41,5 +51,6 @@ int main() {
   }
   std::cout << "Check: auto == min(rmw, rcw) at every L; the rmw column is "
                "where dcode's shared horizontal parities beat xcode.\n";
+  telemetry.finish();
   return 0;
 }

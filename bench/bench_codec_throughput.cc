@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "gbench_telemetry.h"
+
 #include "codes/dcode_decoder.h"
 #include "codes/decoder.h"
 #include "codes/encoder.h"
@@ -161,4 +163,7 @@ BENCHMARK_CAPTURE(BM_CauchyRsEncode, smart_schedule, true)->Arg(5)->Arg(11);
 BENCHMARK_CAPTURE(BM_CauchyRsEncode, dumb_schedule, false)->Arg(5)->Arg(11);
 BENCHMARK(BM_Raid6PqEncode)->Arg(5)->Arg(11);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcode::bench::run_gbench_with_telemetry("bench_codec_throughput",
+                                                 argc, argv);
+}

@@ -2,14 +2,121 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "codes/registry.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
 #include "util/table.h"
 
 namespace dcode::bench {
+
+// Machine-readable bench output, opted into with `--json <path>`.
+//
+// Every bench binary keeps printing its human-readable tables; when the
+// flag is present it *additionally* writes one JSON document:
+//
+//   {
+//     "schema": "dcode.bench.telemetry",
+//     "version": 1,
+//     "bench": "bench_fig4_load_balancing",
+//     "results": [
+//       {"metric": "load_balancing_factor", "value": 1.03,
+//        "labels": {"code": "dcode", "p": "7", "workload": "read_only"}},
+//       ...
+//     ],
+//     "runtime_metrics": { ...obs::Registry::global() JSON dump... }
+//   }
+//
+// `results` carries the numbers the bench exists to measure; the
+// `runtime_metrics` snapshot records what the process actually did
+// (element accesses, pool activity, ...) so a regression in the headline
+// number can be cross-checked against behavior. The schema is validated
+// in CI by scripts/check_bench_telemetry.py against
+// scripts/bench_schema.json; bump `version` on breaking changes.
+class Telemetry {
+ public:
+  // Parses `--json <path>` out of argv (removing both tokens) so the
+  // remaining flags can be forwarded to other consumers — the
+  // google-benchmark binaries hand the stripped argv to
+  // benchmark::Initialize.
+  Telemetry(std::string bench_name, int& argc, char** argv)
+      : bench_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) != "--json") continue;
+      if (i + 1 >= argc) {
+        std::cerr << bench_ << ": --json requires a file path\n";
+        std::exit(2);
+      }
+      path_ = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Records one measured value. Labels are free-form key/value pairs that
+  // identify the cell ({code, p, workload}, ...); values are stringified
+  // by the caller so "7" and "read_only" travel the same way.
+  void add(std::string metric, double value, obs::Labels labels = {}) {
+    if (!enabled()) return;
+    rows_.push_back(Row{std::move(metric), value, std::move(labels)});
+  }
+
+  // Writes the document (no-op without --json). Call once at the end of
+  // main, after the last add().
+  void finish() const {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << bench_ << ": cannot open " << path_ << " for writing\n";
+      std::exit(2);
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema").value("dcode.bench.telemetry");
+    w.key("version").value(static_cast<int64_t>(1));
+    w.key("bench").value(bench_);
+    w.key("results").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_object();
+      w.key("metric").value(r.metric);
+      w.key("value").value(r.value);
+      w.key("labels").begin_object();
+      for (const auto& [k, v] : r.labels) w.key(k).value(v);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    std::ostringstream reg;
+    obs::Registry::global().write_json(reg);
+    w.key("runtime_metrics").raw(reg.str());
+    w.end_object();
+    out << "\n";
+    std::cout << "\ntelemetry: wrote " << rows_.size() << " results to "
+              << path_ << "\n";
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    obs::Labels labels;
+  };
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 // The paper's sweep (Figures 4-7): p in {5, 7, 11, 13}.
 inline const std::vector<int>& paper_primes() {

@@ -17,7 +17,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_complexity", argc, argv);
   print_header("Features (paper §III-D): computed from the constructions",
                "encode = XORs per data element; decode = XORs per lost "
                "element (two-disk failure); update = parity elements "
@@ -67,6 +68,15 @@ int main() {
         upd_max = std::max(upd_max, n);
       }
 
+      obs::Labels cell = {{"code", name}, {"p", std::to_string(p)}};
+      telemetry.add("storage_efficiency",
+                    static_cast<double>(data) / total, cell);
+      telemetry.add("encode_xors_per_element", encode_per_elem, cell);
+      telemetry.add("optimal_encode_xors_per_element", optimal, cell);
+      telemetry.add("decode_xors_per_lost_element", decode_per_lost, cell);
+      telemetry.add("update_complexity_avg", upd_sum / data, cell);
+      telemetry.add("update_complexity_max",
+                    static_cast<double>(upd_max), cell);
       table.add_row({name, std::to_string(disks), std::to_string(data),
                      format_double(static_cast<double>(data) / total, 3),
                      format_double(encode_per_elem, 3),
@@ -81,5 +91,6 @@ int main() {
 
   std::cout << "Paper check (dcode): encode-xors/elem == 2 - 2/(n-2), "
                "decode-xors/lost == n-3, update-avg == update-max == 2.\n";
+  telemetry.finish();
   return 0;
 }

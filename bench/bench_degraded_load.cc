@@ -17,7 +17,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_degraded_load", argc, argv);
   print_header("Extension: degraded-mode I/O loads (mixed 1:1, p=11)",
                "one data disk failed, averaged over every failure case; "
                "500 ops per case.");
@@ -69,6 +70,14 @@ int main() {
     }
 
     double penalty = cost_acc.mean() / static_cast<double>(healthy.total());
+    obs::Labels cell = {{"code", name}, {"p", "11"}, {"workload", "mixed"}};
+    telemetry.add("load_balancing_factor_healthy",
+                  healthy.load_balancing_factor(), cell);
+    telemetry.add("load_balancing_factor_degraded", lf_acc.mean(), cell);
+    telemetry.add("io_cost_healthy",
+                  static_cast<double>(healthy.total()), cell);
+    telemetry.add("io_cost_degraded", cost_acc.mean(), cell);
+    telemetry.add("degraded_cost_penalty", penalty, cell);
     table.add_row({name, format_lf(healthy.load_balancing_factor()),
                    format_double(lf_acc.mean(), 2),
                    std::to_string(healthy.total()),
@@ -81,5 +90,6 @@ int main() {
                "cost, so the narrower arrays (hdp) pay the smallest "
                "absolute penalty; RDP's parity disks finally serve I/O, "
                "pulling its LF down toward the verticals'.\n";
+  telemetry.finish();
   return 0;
 }

@@ -13,7 +13,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_extended_codes", argc, argv);
   print_header("Extended code comparison (Figure 4/5 metrics, all codes)",
                "mixed 1:1 workload, 2000 ops; LF and total I/O cost.");
 
@@ -24,6 +25,12 @@ int main() {
       auto layout = codes::make_layout(name, p);
       auto res = sim::run_load_experiment(*layout, sim::WorkloadKind::kMixed,
                                           0xE7 + p);
+      obs::Labels cell = {{"code", name},
+                          {"p", std::to_string(p)},
+                          {"workload", "mixed"}};
+      telemetry.add("load_balancing_factor", res.load_balancing_factor,
+                    cell);
+      telemetry.add("io_cost", static_cast<double>(res.io_cost), cell);
       table.add_row({name, std::to_string(layout->cols()),
                      std::to_string(layout->fault_tolerance()),
                      format_lf(res.load_balancing_factor),
@@ -33,5 +40,6 @@ int main() {
     std::cout << "(star tolerates three failures — its higher cost buys a "
                  "different reliability class)\n\n";
   }
+  telemetry.finish();
   return 0;
 }

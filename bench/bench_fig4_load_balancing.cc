@@ -13,7 +13,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_fig4_load_balancing", argc, argv);
   print_header("Figure 4: load balancing factor (LF = Lmax / Lmin)",
                "2000 ops per cell, L in [1,20], T in [1,1000]; LF of 1.00 is "
                "perfectly balanced; 'inf' means an idle disk (paper plots it "
@@ -22,10 +23,12 @@ int main() {
   const struct {
     sim::WorkloadKind kind;
     const char* figure;
+    const char* label;
   } workloads[] = {
-      {sim::WorkloadKind::kReadOnly, "Figure 4(a) read-only"},
-      {sim::WorkloadKind::kReadIntensive, "Figure 4(b) read-intensive 7:3"},
-      {sim::WorkloadKind::kMixed, "Figure 4(c) read-write mixed 1:1"},
+      {sim::WorkloadKind::kReadOnly, "Figure 4(a) read-only", "read_only"},
+      {sim::WorkloadKind::kReadIntensive, "Figure 4(b) read-intensive 7:3",
+       "read_intensive"},
+      {sim::WorkloadKind::kMixed, "Figure 4(c) read-write mixed 1:1", "mixed"},
   };
 
   for (const auto& w : workloads) {
@@ -38,6 +41,10 @@ int main() {
         auto res = sim::run_load_experiment(*layout, w.kind,
                                             /*seed=*/0xF16'4000 + p);
         row.push_back(format_lf(res.load_balancing_factor));
+        telemetry.add("load_balancing_factor", res.load_balancing_factor,
+                      {{"code", name},
+                       {"p", std::to_string(p)},
+                       {"workload", w.label}});
       }
       table.add_row(row);
     }
@@ -47,5 +54,6 @@ int main() {
 
   std::cout << "Paper shape check: rdp/hcode unbalanced, hdp/xcode/dcode "
                "close to 1 under every workload.\n";
+  telemetry.finish();
   return 0;
 }

@@ -13,17 +13,20 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_fig5_io_cost", argc, argv);
   print_header("Figure 5: total I/O cost (element accesses)",
                "2000 ops per cell, L in [1,20], T in [1,1000].");
 
   const struct {
     sim::WorkloadKind kind;
     const char* figure;
+    const char* label;
   } workloads[] = {
-      {sim::WorkloadKind::kReadOnly, "Figure 5(a) read-only"},
-      {sim::WorkloadKind::kReadIntensive, "Figure 5(b) read-intensive 7:3"},
-      {sim::WorkloadKind::kMixed, "Figure 5(c) read-write mixed 1:1"},
+      {sim::WorkloadKind::kReadOnly, "Figure 5(a) read-only", "read_only"},
+      {sim::WorkloadKind::kReadIntensive, "Figure 5(b) read-intensive 7:3",
+       "read_intensive"},
+      {sim::WorkloadKind::kMixed, "Figure 5(c) read-write mixed 1:1", "mixed"},
   };
 
   for (const auto& w : workloads) {
@@ -40,6 +43,10 @@ int main() {
                                             /*seed=*/0xF150000 + p);
         if (name == "dcode") dcode_cost[pi] = res.io_cost;
         row.push_back(std::to_string(res.io_cost));
+        telemetry.add("io_cost", static_cast<double>(res.io_cost),
+                      {{"code", name},
+                       {"p", std::to_string(p)},
+                       {"workload", w.label}});
       }
       table.add_row(row);
     }
@@ -62,5 +69,6 @@ int main() {
   }
   std::cout << "Paper shape check: hdp/xcode cost the most on write-bearing "
                "workloads; dcode within a few percent of rdp/hcode.\n";
+  telemetry.finish();
   return 0;
 }

@@ -13,7 +13,8 @@
 using namespace dcode;
 using namespace dcode::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_fig6_normal_read", argc, argv);
   sim::DiskModelParams params;
   print_header(
       "Figure 6: normal read speed (modeled 10k-RPM SAS disks)",
@@ -27,9 +28,14 @@ int main() {
     std::vector<double> row;
     for (int p : paper_primes()) {
       auto layout = codes::make_layout(name, p);
-      row.push_back(
+      double mb_s =
           sim::run_normal_read_experiment(*layout, 0xF160000 + p, params)
-              .read_mb_s);
+              .read_mb_s;
+      row.push_back(mb_s);
+      telemetry.add("read_mb_s", mb_s,
+                    {{"code", name},
+                     {"p", std::to_string(p)},
+                     {"mode", "normal"}});
     }
     speed.add_numeric_row(name, row, 1);
   }
@@ -41,9 +47,14 @@ int main() {
     std::vector<double> row;
     for (int p : paper_primes()) {
       auto layout = codes::make_layout(name, p);
-      row.push_back(
+      double mb_s =
           sim::run_normal_read_experiment(*layout, 0xF160000 + p, params)
-              .avg_mb_s_disk);
+              .avg_mb_s_disk;
+      row.push_back(mb_s);
+      telemetry.add("avg_mb_s_disk", mb_s,
+                    {{"code", name},
+                     {"p", std::to_string(p)},
+                     {"mode", "normal"}});
     }
     avg.add_numeric_row(name, row, 2);
   }
@@ -52,5 +63,6 @@ int main() {
   std::cout << "\nPaper shape check: dcode ~= xcode fastest; rdp slowest "
                "(its two parity disks serve no reads); per-disk average "
                "highest for the p-1-disk HDP and the p-disk verticals.\n";
+  telemetry.finish();
   return 0;
 }

@@ -39,7 +39,8 @@ double plan_time_ms(const raid::RecoveryPlan& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Telemetry telemetry("bench_rebuild_time", argc, argv);
   sim::DiskModelParams params;
   print_header("Single-disk rebuild time per stripe (modeled ms)",
                "reads bound rebuild; averaged over every failed-disk case.");
@@ -60,6 +61,14 @@ int main() {
                 *layout, f, raid::RecoveryStrategy::kMinimalReads),
             params));
       }
+      telemetry.add("rebuild_ms_per_stripe", conv.mean(),
+                    {{"code", name},
+                     {"p", std::to_string(p)},
+                     {"strategy", "conventional"}});
+      telemetry.add("rebuild_ms_per_stripe", opt.mean(),
+                    {{"code", name},
+                     {"p", std::to_string(p)},
+                     {"strategy", "minimal_reads"}});
       table.add_row({name, std::to_string(p), format_double(conv.mean(), 2),
                      format_double(opt.mean(), 2),
                      format_double(conv.mean() / opt.mean(), 3) + "x"});
@@ -74,5 +83,6 @@ int main() {
                "beats X-Code under both plans (contiguous recovery "
                "runs), even though Theorem 1 makes their read counts "
                "identical.\n";
+  telemetry.finish();
   return 0;
 }

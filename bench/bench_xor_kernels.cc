@@ -4,6 +4,8 @@
 // n-4 times; xor_many streams it once per 4 sources.
 #include <benchmark/benchmark.h>
 
+#include "gbench_telemetry.h"
+
 #include <vector>
 
 #include "util/aligned_buffer.h"
@@ -77,4 +79,6 @@ BENCHMARK(BM_XorInto);
 BENCHMARK(BM_XorManyPairwise)->Arg(4)->Arg(10)->Arg(15);
 BENCHMARK(BM_XorManyFused)->Arg(4)->Arg(10)->Arg(15);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dcode::bench::run_gbench_with_telemetry("bench_xor_kernels", argc, argv);
+}

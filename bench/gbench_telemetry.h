@@ -1,0 +1,56 @@
+// Glue that gives the google-benchmark binaries the same `--json <path>`
+// telemetry contract as the table-style benches: a ConsoleReporter
+// subclass mirrors every finished run into a bench::Telemetry document,
+// and run_gbench_with_telemetry() replaces BENCHMARK_MAIN().
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace dcode::bench {
+
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TelemetryReporter(Telemetry* telemetry) : telemetry_(telemetry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      obs::Labels labels = {{"name", run.benchmark_name()}};
+      telemetry_->add(
+          "real_time_s_per_iter",
+          run.real_accumulated_time / static_cast<double>(run.iterations),
+          labels);
+      auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end()) {
+        telemetry_->add("bytes_per_second", static_cast<double>(it->second),
+                        labels);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Telemetry* telemetry_;
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body. Strips --json before
+// benchmark::Initialize sees the argv, so the two flag namespaces never
+// collide.
+inline int run_gbench_with_telemetry(const std::string& bench_name, int argc,
+                                     char** argv) {
+  Telemetry telemetry(bench_name, argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TelemetryReporter reporter(&telemetry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  telemetry.finish();
+  return 0;
+}
+
+}  // namespace dcode::bench

@@ -7,9 +7,11 @@
 //
 //   $ ./examples/quickstart
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "codes/registry.h"
+#include "obs/metrics.h"
 #include "raid/raid6_array.h"
 #include "util/rng.h"
 
@@ -65,5 +67,15 @@ int main() {
                 static_cast<long long>(array.disk(d).writes()));
   }
   std::printf("\n");
+
+  // Everything above was also metered: the array counts operations,
+  // bytes, element-granular per-disk accesses, and latency histograms
+  // in obs::Registry::global() (pass a registry to the constructor to
+  // use a private one). publish_disk_metrics() snapshots the MemDisk
+  // counters into labeled gauges; write_json()/write_prometheus() are
+  // the machine-readable siblings of the text table.
+  array.publish_disk_metrics(array.metrics_registry());
+  std::printf("\nruntime metrics:\n");
+  array.metrics_registry().write_text(std::cout);
   return out == payload ? 0 : 1;
 }

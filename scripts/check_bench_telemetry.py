@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate bench telemetry documents against scripts/bench_schema.json.
+
+Usage:
+    check_bench_telemetry.py FILE [FILE ...]
+    check_bench_telemetry.py --run BENCH_BINARY [ARGS ...]
+
+The first form validates already-written telemetry files. The second runs
+a bench binary with a temporary --json path and validates what it wrote —
+the mode the ctest/CI hooks use.
+
+Only the Python standard library is used: the validator implements the
+subset of JSON Schema draft-07 that bench_schema.json needs (type,
+required, properties, additionalProperties, items, enum, const, minimum,
+pattern). Growing the schema may require growing the validator; it fails
+loudly on keywords it does not understand.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HANDLED = {
+    "$schema", "title", "description",
+    "type", "required", "properties", "additionalProperties", "items",
+    "enum", "const", "minimum", "pattern",
+}
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it explicitly.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path, errors):
+    unknown = set(schema) - HANDLED
+    if unknown:
+        raise SystemExit(
+            f"bench_schema.json uses unimplemented keywords {sorted(unknown)}; "
+            "teach check_bench_telemetry.py about them")
+
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+        return
+
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected {'/'.join(types)}, "
+                          f"got {type(value).__name__}")
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match "
+                          f"{schema['pattern']!r}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            if key in props:
+                validate(sub, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(sub, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_file(path, schema):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: {e}")
+        return False
+    errors = []
+    validate(doc, schema, "$", errors)
+    if errors:
+        print(f"FAIL {path}:")
+        for e in errors:
+            print(f"  {e}")
+        return False
+    n = len(doc["results"])
+    m = len(doc["runtime_metrics"]["metrics"])
+    print(f"OK   {path}: bench={doc['bench']} version={doc['version']} "
+          f"results={n} runtime_metrics={m}")
+    return True
+
+
+def main(argv):
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "bench_schema.json")
+    with open(schema_path) as f:
+        schema = json.load(f)
+
+    if not argv:
+        print(__doc__)
+        return 2
+
+    if argv[0] == "--run":
+        if len(argv) < 2:
+            print("--run needs a bench binary", file=sys.stderr)
+            return 2
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "telemetry.json")
+            cmd = [argv[1], "--json", out] + argv[2:]
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+            if proc.returncode != 0:
+                print(f"FAIL {argv[1]}: exit code {proc.returncode}")
+                return 1
+            return 0 if check_file(out, schema) else 1
+
+    ok = all([check_file(p, schema) for p in argv])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,154 @@
+// Minimal streaming JSON writer shared by the observability layer: the
+// metrics registry's JSON exposition, the trace log's JSON Lines events,
+// and the bench binaries' --json telemetry all emit through this one
+// class so escaping and number formatting cannot diverge between them.
+//
+// The writer tracks container nesting and inserts commas itself; callers
+// pair begin_/end_ calls and alternate key()/value() inside objects. It
+// does not validate structure beyond what the comma logic needs — the
+// emitters are all fixed-shape, tested output.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcode::obs {
+
+// Escapes `s` for inclusion in a JSON string literal (quotes excluded).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    separate();
+    os_ << '{';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    os_ << '[';
+    stack_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    os_ << '"' << json_escape(k) << "\":";
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    os_ << '"' << json_escape(v) << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(int64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    separate();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  // Non-finite doubles have no JSON representation; they emit as null
+  // (consumers treat null as "not measurable", e.g. an infinite LF).
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+      return *this;
+    }
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    os_.write(buf, res.ptr - buf);
+    return *this;
+  }
+  JsonWriter& null() {
+    separate();
+    os_ << "null";
+    return *this;
+  }
+
+  // Embeds pre-serialized JSON verbatim — e.g. nesting a whole
+  // Registry::write_json dump inside a larger document. The caller is
+  // responsible for `json` being well-formed.
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    os_ << json;
+    return *this;
+  }
+
+ private:
+  // Emits the comma between siblings; the first element of a container
+  // and the value right after a key get none.
+  void separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) {
+      stack_.back() = false;
+    } else {
+      os_ << ',';
+    }
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // true = container still empty
+  bool after_key_ = false;
+};
+
+}  // namespace dcode::obs

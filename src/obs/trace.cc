@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json_writer.h"
+
+namespace dcode::obs {
+
+namespace {
+
+// Small dense per-thread ids (lane numbers for timeline viewers);
+// std::thread::id stringifies unhelpfully.
+int this_thread_trace_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// The calling thread's innermost live span (0 = none).
+thread_local uint64_t current_span_id = 0;
+
+uint64_t next_span_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void write_attrs(JsonWriter& w, TraceAttrs attrs) {
+  if (attrs.size() == 0) return;
+  w.key("attrs").begin_object();
+  for (const TraceAttr& a : attrs) {
+    w.key(a.key);
+    switch (a.kind) {
+      case TraceAttr::Kind::kInt: w.value(a.i); break;
+      case TraceAttr::Kind::kDouble: w.value(a.d); break;
+      case TraceAttr::Kind::kString: w.value(a.s); break;
+      case TraceAttr::Kind::kBool: w.value(a.b); break;
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+TraceLog::~TraceLog() { close(); }
+
+TraceLog& TraceLog::global() {
+  static TraceLog* log = [] {
+    auto* l = new TraceLog();  // leaked: outlives static teardown
+    if (const char* path = std::getenv("DCODE_TRACE");
+        path != nullptr && path[0] != '\0') {
+      l->open(path);
+    }
+    return l;
+  }();
+  return *log;
+}
+
+void TraceLog::open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*file) {
+    throw std::runtime_error("cannot open trace log '" + path + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_ = std::move(file);
+  out_ = owned_.get();
+  epoch_ns_ = steady_ns();
+  events_written_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceLog::attach(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owned_.reset();
+  out_ = os;
+  epoch_ns_ = steady_ns();
+  events_written_.store(0, std::memory_order_relaxed);
+  enabled_.store(os != nullptr, std::memory_order_relaxed);
+}
+
+void TraceLog::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_ != nullptr) out_->flush();
+  owned_.reset();
+  out_ = nullptr;
+}
+
+int64_t TraceLog::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void TraceLog::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;  // closed between the enabled check and here
+  *out_ << line << '\n';
+  out_->flush();  // a trace that stops at a crash is the point
+  events_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceLog::event(std::string_view name, TraceAttrs attrs) {
+  if (!enabled()) return;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("ts_ns").value(now_ns());
+  w.key("tid").value(this_thread_trace_id());
+  w.key("type").value("event");
+  if (current_span_id != 0) w.key("span").value(current_span_id);
+  w.key("name").value(name);
+  write_attrs(w, attrs);
+  w.end_object();
+  write_line(os.str());
+}
+
+void TraceLog::emit_span_begin(uint64_t id, uint64_t parent,
+                               std::string_view name, TraceAttrs attrs) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("ts_ns").value(now_ns());
+  w.key("tid").value(this_thread_trace_id());
+  w.key("type").value("span_begin");
+  w.key("id").value(id);
+  if (parent != 0) w.key("parent").value(parent);
+  w.key("name").value(name);
+  write_attrs(w, attrs);
+  w.end_object();
+  write_line(os.str());
+}
+
+void TraceLog::emit_span_end(uint64_t id, std::string_view name,
+                             int64_t dur_ns) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("ts_ns").value(now_ns());
+  w.key("tid").value(this_thread_trace_id());
+  w.key("type").value("span_end");
+  w.key("id").value(id);
+  w.key("name").value(name);
+  w.key("dur_ns").value(dur_ns);
+  w.end_object();
+  write_line(os.str());
+}
+
+Span::Span(TraceLog& log, std::string_view name, TraceAttrs attrs) {
+  if (!log.enabled()) return;
+  log_ = &log;
+  id_ = next_span_id();
+  parent_ = current_span_id;
+  current_span_id = id_;
+  name_ = name;
+  start_ns_ = steady_ns();
+  log.emit_span_begin(id_, parent_, name_, attrs);
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  current_span_id = parent_;
+  log_->emit_span_end(id_, name_, steady_ns() - start_ns_);
+}
+
+void Span::note(std::string_view name, TraceAttrs attrs) {
+  if (id_ == 0 || !log_->enabled()) return;
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("ts_ns").value(log_->now_ns());
+  w.key("tid").value(this_thread_trace_id());
+  w.key("type").value("event");
+  w.key("span").value(id_);
+  w.key("name").value(name);
+  write_attrs(w, attrs);
+  w.end_object();
+  log_->write_line(os.str());
+}
+
+}  // namespace dcode::obs

@@ -1,0 +1,117 @@
+// The Raid6Array's metric handles, resolved once at array construction.
+//
+// All metrics live in an obs::Registry (the process-global one unless the
+// array was given its own) and are additive across arrays sharing a
+// registry: counters only ever inc(), so two arrays on the global
+// registry simply sum, Prometheus-style. The per-disk element access
+// counters mirror sim::IoStats semantics at runtime — one increment per
+// element read or written on that physical disk — so a scripted workload
+// can be checked against the planner's IoPlan predictions (see
+// tests/runtime_metrics_test.cc). The full catalogue with meanings is in
+// docs/observability.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dcode::raid {
+
+struct ArrayMetrics {
+  ArrayMetrics(obs::Registry& registry, int disks) : reg(&registry) {
+    using obs::Labels;
+    reads = &registry.counter("raid.reads", {}, "healthy-mode read ops");
+    writes = &registry.counter("raid.writes", {}, "healthy-mode write ops");
+    degraded_reads = &registry.counter("raid.degraded_reads", {},
+                                       "read ops served with failed disks");
+    degraded_writes = &registry.counter(
+        "raid.degraded_writes", {}, "write ops served with failed disks");
+    bytes_read =
+        &registry.counter("raid.bytes_read", {}, "user bytes returned");
+    bytes_written =
+        &registry.counter("raid.bytes_written", {}, "user bytes accepted");
+    rebuilds = &registry.counter("raid.rebuilds", {}, "rebuild operations");
+    elements_reconstructed = &registry.counter(
+        "raid.elements_reconstructed", {},
+        "elements recomputed from parity (degraded reads + rebuilds)");
+    scrubs = &registry.counter("raid.scrubs", {}, "scrub operations");
+    scrub_stripes_checked = &registry.counter(
+        "raid.scrub.stripes_checked", {}, "stripes verified by scrub");
+    scrub_stripes_inconsistent =
+        &registry.counter("raid.scrub.stripes_inconsistent", {},
+                          "stripes whose parity failed verification");
+    disks_failed = &registry.gauge("raid.disks_failed", {},
+                                   "currently failed disks");
+    journal_intents_opened =
+        &registry.counter("raid.journal.intents_opened", {},
+                          "write-intent records newly opened");
+    journal_commits = &registry.counter("raid.journal.commits", {},
+                                        "write-intent records committed");
+    journal_replayed_stripes =
+        &registry.counter("raid.journal.replayed_stripes", {},
+                          "stripes re-encoded by journal recovery");
+    journal_recoveries = &registry.counter(
+        "raid.journal.recoveries", {}, "journal recovery passes");
+    read_latency_ns = &registry.histogram(
+        "raid.read_latency_ns", obs::latency_bounds_ns(), {},
+        "wall time per read op");
+    write_latency_ns = &registry.histogram(
+        "raid.write_latency_ns", obs::latency_bounds_ns(), {},
+        "wall time per write op");
+    rebuild_latency_ns = &registry.histogram(
+        "raid.rebuild_latency_ns", obs::latency_bounds_ns(), {},
+        "wall time per rebuild");
+    scrub_latency_ns = &registry.histogram(
+        "raid.scrub_latency_ns", obs::latency_bounds_ns(), {},
+        "wall time per scrub");
+    read_bytes = &registry.histogram("raid.read_bytes",
+                                     obs::size_bounds_bytes(), {},
+                                     "user bytes per read op");
+    write_bytes = &registry.histogram("raid.write_bytes",
+                                      obs::size_bounds_bytes(), {},
+                                      "user bytes per write op");
+    disk_element_reads.reserve(static_cast<size_t>(disks));
+    disk_element_writes.reserve(static_cast<size_t>(disks));
+    disk_failures.reserve(static_cast<size_t>(disks));
+    for (int d = 0; d < disks; ++d) {
+      Labels l = {{"disk", std::to_string(d)}};
+      disk_element_reads.push_back(&registry.counter(
+          "raid.disk.element_reads", l, "element reads per physical disk"));
+      disk_element_writes.push_back(&registry.counter(
+          "raid.disk.element_writes", l,
+          "element writes per physical disk"));
+      disk_failures.push_back(&registry.counter(
+          "raid.disk.failures", l, "failure injections per physical disk"));
+    }
+  }
+
+  obs::Registry* reg;
+  obs::Counter* reads;
+  obs::Counter* writes;
+  obs::Counter* degraded_reads;
+  obs::Counter* degraded_writes;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+  obs::Counter* rebuilds;
+  obs::Counter* elements_reconstructed;
+  obs::Counter* scrubs;
+  obs::Counter* scrub_stripes_checked;
+  obs::Counter* scrub_stripes_inconsistent;
+  obs::Gauge* disks_failed;
+  obs::Counter* journal_intents_opened;
+  obs::Counter* journal_commits;
+  obs::Counter* journal_replayed_stripes;
+  obs::Counter* journal_recoveries;
+  obs::Histogram* read_latency_ns;
+  obs::Histogram* write_latency_ns;
+  obs::Histogram* rebuild_latency_ns;
+  obs::Histogram* scrub_latency_ns;
+  obs::Histogram* read_bytes;
+  obs::Histogram* write_bytes;
+  std::vector<obs::Counter*> disk_element_reads;
+  std::vector<obs::Counter*> disk_element_writes;
+  std::vector<obs::Counter*> disk_failures;
+};
+
+}  // namespace dcode::raid

@@ -30,16 +30,19 @@ class WriteIntentJournal {
     DCODE_CHECK(slots > 0, "journal needs at least one slot");
   }
 
-  // Marks `stripe` dirty. Idempotent for an already-open stripe. Throws
-  // when every slot is taken (caller must commit earlier writes first).
-  void begin(int64_t stripe) {
+  // Marks `stripe` dirty. Idempotent for an already-open stripe; returns
+  // true when a record was newly opened (false if one was already open —
+  // what intent-open metrics want to count). Throws when every slot is
+  // taken (caller must commit earlier writes first).
+  bool begin(int64_t stripe) {
     int free_slot = -1;
     for (size_t i = 0; i < slots_.size(); ++i) {
-      if (slots_[i] == stripe) return;  // already open
+      if (slots_[i] == stripe) return false;  // already open
       if (slots_[i] == kEmpty && free_slot < 0) free_slot = static_cast<int>(i);
     }
     DCODE_CHECK(free_slot >= 0, "write-intent journal full");
     slots_[static_cast<size_t>(free_slot)] = stripe;
+    return true;
   }
 
   // Clears the intent record after the stripe's parity is durable.

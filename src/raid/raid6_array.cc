@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <set>
 
 #include "codes/decoder.h"
 #include "codes/dcode_decoder.h"
 #include "codes/encoder.h"
 #include "codes/stripe.h"
+#include "obs/trace.h"
 #include "raid/recovery.h"
 #include "xorops/xor_region.h"
 
@@ -20,14 +23,41 @@ using codes::Element;
 using codes::Equation;
 using codes::Stripe;
 
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Observes wall time into a latency histogram on scope exit (including
+// unwinds — a failed op's latency is still a latency).
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(obs::Histogram* h) : h_(h), t0_(now_ns()) {}
+  ~LatencyTimer() { h_->observe(now_ns() - t0_); }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  obs::Histogram* h_;
+  int64_t t0_;
+};
+
+}  // namespace
+
 Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
-                       size_t element_size, int64_t stripes, unsigned threads)
+                       size_t element_size, int64_t stripes, unsigned threads,
+                       obs::Registry* registry)
     : layout_(std::move(layout)),
       element_size_(element_size),
       stripes_(stripes),
       map_(*layout_),
       planner_(map_),
-      pool_(threads) {
+      pool_(threads),
+      metrics_(registry != nullptr ? *registry : obs::Registry::global(),
+               layout_->cols()) {
   DCODE_CHECK(element_size_ > 0, "element size must be positive");
   DCODE_CHECK(stripes_ > 0, "array needs at least one stripe");
   size_t disk_size =
@@ -56,6 +86,14 @@ void Raid6Array::write_element(int disk, int64_t stripe, int row,
                                std::span<const uint8_t> data) {
   consume_write_budget();
   disks_[static_cast<size_t>(disk)]->write(element_offset(stripe, row), data);
+  metrics_.disk_element_writes[static_cast<size_t>(disk)]->inc();
+}
+
+void Raid6Array::read_element(int disk, int64_t stripe, int row,
+                              uint8_t* dst) {
+  disks_[static_cast<size_t>(disk)]->read(
+      element_offset(stripe, row), std::span<uint8_t>(dst, element_size_));
+  metrics_.disk_element_reads[static_cast<size_t>(disk)]->inc();
 }
 
 void Raid6Array::enable_journal(int slots) {
@@ -84,17 +122,19 @@ int64_t Raid6Array::journal_recover() {
   DCODE_CHECK(failed_disk_count() == 0,
               "journal recovery requires a healthy array");
   const CodeLayout& layout = *layout_;
+  const std::vector<int64_t> open = journal_->open_stripes();
+  obs::Span span(obs::TraceLog::global(), "journal.recover",
+                 {{"open_intents", static_cast<int64_t>(open.size())}});
+  metrics_.journal_recoveries->inc();
   int64_t repaired = 0;
-  for (int64_t stripe : journal_->open_stripes()) {
+  for (int64_t stripe : open) {
     // Re-encode parity from whatever data survived the crash: every data
     // element is individually consistent (element writes are atomic), so
     // a fresh encode restores the stripe invariant.
     Stripe s(layout, element_size_);
     for (int c = 0; c < layout.cols(); ++c) {
       for (int r = 0; r < layout.rows(); ++r) {
-        disks_[static_cast<size_t>(c)]->read(
-            element_offset(stripe, r),
-            std::span<uint8_t>(s.at(r, c), element_size_));
+        read_element(c, stripe, r, s.at(r, c));
       }
     }
     codes::encode_stripe(s);
@@ -103,8 +143,10 @@ int64_t Raid6Array::journal_recover() {
                     std::span<const uint8_t>(s.at(q.parity), element_size_));
     }
     journal_->commit(stripe);
+    span.note("journal.replayed_stripe", {{"stripe", stripe}});
     ++repaired;
   }
+  metrics_.journal_replayed_stripes->inc(repaired);
   return repaired;
 }
 
@@ -125,10 +167,15 @@ void Raid6Array::add_hot_spares(int count) {
 
 void Raid6Array::fail_disk(int disk) {
   DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
+  if (!disks_[static_cast<size_t>(disk)]->failed()) {
+    metrics_.disk_failures[static_cast<size_t>(disk)]->inc();
+    metrics_.disks_failed->add(1);
+  }
   disks_[static_cast<size_t>(disk)]->fail();
   if (hot_spares_ > 0) {
     --hot_spares_;
     disks_[static_cast<size_t>(disk)]->replace();
+    metrics_.disks_failed->sub(1);
     needs_rebuild_[static_cast<size_t>(disk)] = true;
     rebuild();
   }
@@ -139,6 +186,7 @@ void Raid6Array::replace_disk(int disk) {
   DCODE_CHECK(disks_[static_cast<size_t>(disk)]->failed(),
               "only failed disks can be replaced");
   disks_[static_cast<size_t>(disk)]->replace();
+  metrics_.disks_failed->sub(1);
   needs_rebuild_[static_cast<size_t>(disk)] = true;
 }
 
@@ -152,15 +200,14 @@ void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
       if (dead) {
         lost.push_back(codes::make_element(r, c));
       } else {
-        disks_[static_cast<size_t>(c)]->read(
-            element_offset(stripe, r),
-            std::span<uint8_t>(out.at(r, c), element_size_));
+        read_element(c, stripe, r, out.at(r, c));
       }
     }
   }
   if (!lost.empty()) {
     auto res = codes::hybrid_decode(out, lost);
     DCODE_CHECK(res.success, "stripe unrecoverable (more than two failures)");
+    metrics_.elements_reconstructed->inc(static_cast<int64_t>(lost.size()));
   }
 }
 
@@ -189,6 +236,10 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
                         std::any_of(needs_rebuild_.begin(),
                                     needs_rebuild_.end(),
                                     [](bool b) { return b; });
+  LatencyTimer timer(metrics_.write_latency_ns);
+  (degraded ? metrics_.degraded_writes : metrics_.writes)->inc();
+  metrics_.bytes_written->inc(static_cast<int64_t>(data.size()));
+  metrics_.write_bytes->observe(static_cast<int64_t>(data.size()));
 
   // Per-element overlay: [start, end) bytes of element g come from `data`.
   auto overlay_range = [&](int64_t g, size_t* elem_begin, size_t* src_begin,
@@ -214,7 +265,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
     // crash can land on either side of it — both sides are safe).
     if (journal_) {
       consume_write_budget();
-      journal_->begin(stripe);
+      if (journal_->begin(stripe)) metrics_.journal_intents_opened->inc();
     }
 
     if (degraded) {
@@ -250,6 +301,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
       if (journal_) {
         consume_write_budget();
         journal_->commit(stripe);
+        metrics_.journal_commits->inc();
       }
       g = stripe_end + 1;
       continue;
@@ -264,9 +316,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
       overlay_range(e, &eb, &sb, &len);
 
       AlignedBuffer old(element_size_);
-      MemDisk& d = *disks_[static_cast<size_t>(loc.disk)];
-      d.read(element_offset(stripe, loc.element.row),
-             std::span<uint8_t>(old.data(), element_size_));
+      read_element(loc.disk, stripe, loc.element.row, old.data());
 
       AlignedBuffer fresh(element_size_);
       std::memcpy(fresh.data(), old.data(), element_size_);
@@ -292,10 +342,8 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
         }
       }
       int pdisk = map_.physical_disk(stripe, q.parity.col);
-      MemDisk& d = *disks_[static_cast<size_t>(pdisk)];
       AlignedBuffer parity(element_size_);
-      d.read(element_offset(stripe, q.parity.row),
-             std::span<uint8_t>(parity.data(), element_size_));
+      read_element(pdisk, stripe, q.parity.row, parity.data());
       xorops::xor_into(parity.data(), pdelta.data(), element_size_);
       write_element(pdisk, stripe, q.parity.row,
                     std::span<const uint8_t>(parity.data(), element_size_));
@@ -305,6 +353,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
     if (journal_) {
       consume_write_budget();
       journal_->commit(stripe);
+      metrics_.journal_commits->inc();
     }
     g = stripe_end + 1;
   }
@@ -328,6 +377,10 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
       failed.push_back(d);
     }
   }
+  LatencyTimer timer(metrics_.read_latency_ns);
+  (failed.empty() ? metrics_.reads : metrics_.degraded_reads)->inc();
+  metrics_.bytes_read->inc(static_cast<int64_t>(out.size()));
+  metrics_.read_bytes->observe(static_cast<int64_t>(out.size()));
 
   auto copy_out = [&](int64_t g, const uint8_t* elem) {
     int64_t elem_start = g * esize;
@@ -342,9 +395,7 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
     AlignedBuffer buf(element_size_);
     for (int64_t e = first; e <= last; ++e) {
       auto loc = map_.locate(e);
-      disks_[static_cast<size_t>(loc.disk)]->read(
-          element_offset(loc.stripe, loc.element.row),
-          std::span<uint8_t>(buf.data(), element_size_));
+      read_element(loc.disk, loc.stripe, loc.element.row, buf.data());
       copy_out(e, buf.data());
     }
     return;
@@ -354,6 +405,12 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
   IoPlan plan = planner_.plan_degraded_read(first,
                                             static_cast<int>(last - first + 1),
                                             failed);
+  obs::Span span(
+      obs::TraceLog::global(), "degraded_read",
+      {{"offset", offset}, {"bytes", static_cast<int64_t>(out.size())},
+       {"failed_disks", static_cast<int64_t>(failed.size())},
+       {"plan_reads", plan.reads()},
+       {"reconstructions", static_cast<int64_t>(plan.reconstructions.size())}});
   // Scratch cache of element buffers per (stripe, element).
   struct Key {
     int64_t stripe;
@@ -367,9 +424,7 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
   for (const IoAccess& a : plan.accesses) {
     DCODE_ASSERT(!a.is_write, "degraded read plan must not write");
     AlignedBuffer buf(element_size_);
-    disks_[static_cast<size_t>(a.disk)]->read(
-        element_offset(a.stripe, a.element.row),
-        std::span<uint8_t>(buf.data(), element_size_));
+    read_element(a.disk, a.stripe, a.element.row, buf.data());
     cache.emplace(Key{a.stripe, a.element}, std::move(buf));
   }
 
@@ -389,12 +444,20 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
     } else {
       // Full-stripe chained decode fallback (two failed disks crossing
       // every equation of the target).
+      span.note("full_stripe_decode", {{"stripe", rec.stripe}});
       Stripe s(layout, element_size_);
       load_stripe_degraded(rec.stripe, s);
       std::memcpy(buf.data(), s.at(rec.target), element_size_);
     }
     cache.emplace(Key{rec.stripe, rec.target}, std::move(buf));
   }
+  // Equation-based reconstructions (the fallback already counted its own
+  // rebuilt elements inside load_stripe_degraded).
+  int64_t eq_recs = 0;
+  for (const Reconstruction& rec : plan.reconstructions) {
+    if (rec.equation >= 0) ++eq_recs;
+  }
+  metrics_.elements_reconstructed->inc(eq_recs);
 
   for (int64_t e = first; e <= last; ++e) {
     auto loc = map_.locate(e);
@@ -419,10 +482,20 @@ void Raid6Array::rebuild() {
   DCODE_CHECK(static_cast<int>(targets.size()) <= layout.fault_tolerance(),
               "more failed disks than the code tolerates");
 
+  LatencyTimer timer(metrics_.rebuild_latency_ns);
+  metrics_.rebuilds->inc();
+  obs::Span span(obs::TraceLog::global(), "rebuild",
+                 {{"targets", static_cast<int64_t>(targets.size())},
+                  {"stripes", stripes_},
+                  {"code", layout.name()}});
+
   if (targets.size() == 1) {
     const int f = targets[0];
     RecoveryPlan plan = plan_single_disk_recovery(
         layout, f, RecoveryStrategy::kMinimalReads);
+    span.note("rebuild.plan",
+              {{"mode", "minimal_reads"}, {"disk", f},
+               {"reads_per_stripe", static_cast<int64_t>(plan.reads.size())}});
     pool_.parallel_for_chunked(
         static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
           std::map<Element, AlignedBuffer> cache;
@@ -430,9 +503,7 @@ void Raid6Array::rebuild() {
             cache.clear();
             for (const Element& e : plan.reads) {
               AlignedBuffer buf(element_size_);
-              disks_[static_cast<size_t>(e.col)]->read(
-                  element_offset(static_cast<int64_t>(s), e.row),
-                  std::span<uint8_t>(buf.data(), element_size_));
+              read_element(e.col, static_cast<int64_t>(s), e.row, buf.data());
               cache.emplace(e, std::move(buf));
             }
             for (const Reconstruction& rec : plan.reconstructions) {
@@ -461,6 +532,8 @@ void Raid6Array::rebuild() {
     std::vector<int> fs = targets;
     std::sort(fs.begin(), fs.end());
     const bool use_chain = layout.name() == "dcode" && fs.size() == 2;
+    span.note("rebuild.plan",
+              {{"mode", use_chain ? "dcode_chain" : "hybrid_decode"}});
     pool_.parallel_for_chunked(
         static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
           Stripe s(layout, element_size_);
@@ -472,9 +545,7 @@ void Raid6Array::rebuild() {
             for (int c = 0; c < layout.cols(); ++c) {
               if (is_target(c)) continue;
               for (int r = 0; r < layout.rows(); ++r) {
-                disks_[static_cast<size_t>(c)]->read(
-                    element_offset(static_cast<int64_t>(st), r),
-                    std::span<uint8_t>(s.at(r, c), element_size_));
+                read_element(c, static_cast<int64_t>(st), r, s.at(r, c));
               }
             }
             if (use_chain) {
@@ -497,30 +568,70 @@ void Raid6Array::rebuild() {
   }
 
   for (int d : targets) needs_rebuild_[static_cast<size_t>(d)] = false;
+  metrics_.elements_reconstructed->inc(static_cast<int64_t>(targets.size()) *
+                                       layout.rows() * stripes_);
 }
 
 int64_t Raid6Array::scrub() {
+  return static_cast<int64_t>(scrub_report().inconsistent_stripes.size());
+}
+
+ScrubReport Raid6Array::scrub_report() {
   ensure_online();
   DCODE_CHECK(failed_disk_count() == 0, "scrub requires a healthy array");
   const CodeLayout& layout = *layout_;
-  std::atomic<int64_t> bad{0};
+  LatencyTimer timer(metrics_.scrub_latency_ns);
+  metrics_.scrubs->inc();
+  obs::Span span(obs::TraceLog::global(), "scrub", {{"stripes", stripes_}});
+  ScrubReport report;
+  report.stripes_checked = stripes_;
+  std::mutex bad_mu;
   pool_.parallel_for_chunked(
       static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
         Stripe s(layout, element_size_);
         for (size_t st = begin; st < end; ++st) {
           for (int c = 0; c < layout.cols(); ++c) {
             for (int r = 0; r < layout.rows(); ++r) {
-              disks_[static_cast<size_t>(c)]->read(
-                  element_offset(static_cast<int64_t>(st), r),
-                  std::span<uint8_t>(s.at(r, c), element_size_));
+              read_element(c, static_cast<int64_t>(st), r, s.at(r, c));
             }
           }
           Stripe re = s.clone();
           codes::encode_stripe(re);
-          if (!re.equals(s)) bad.fetch_add(1, std::memory_order_relaxed);
+          if (!re.equals(s)) {
+            std::lock_guard<std::mutex> lock(bad_mu);
+            report.inconsistent_stripes.push_back(static_cast<int64_t>(st));
+          }
         }
       });
-  return bad.load();
+  std::sort(report.inconsistent_stripes.begin(),
+            report.inconsistent_stripes.end());
+  metrics_.scrub_stripes_checked->inc(stripes_);
+  metrics_.scrub_stripes_inconsistent->inc(
+      static_cast<int64_t>(report.inconsistent_stripes.size()));
+  if (!report.inconsistent_stripes.empty()) {
+    span.note("scrub.inconsistent",
+              {{"count",
+                static_cast<int64_t>(report.inconsistent_stripes.size())}});
+  }
+  return report;
+}
+
+std::vector<int64_t> Raid6Array::per_disk_element_accesses() const {
+  std::vector<int64_t> out;
+  out.reserve(disks_.size());
+  for (const auto& d : disks_) out.push_back(d->reads() + d->writes());
+  return out;
+}
+
+void Raid6Array::publish_disk_metrics(obs::Registry& registry) const {
+  for (const auto& d : disks_) {
+    obs::Labels l = {{"disk", std::to_string(d->id())}};
+    registry.gauge("raid.disk.reads", l).set(d->reads());
+    registry.gauge("raid.disk.writes", l).set(d->writes());
+    registry.gauge("raid.disk.bytes_read", l).set(d->bytes_read());
+    registry.gauge("raid.disk.bytes_written", l).set(d->bytes_written());
+    registry.gauge("raid.disk.failed", l).set(d->failed() ? 1 : 0);
+  }
 }
 
 }  // namespace dcode::raid

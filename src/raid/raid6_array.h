@@ -34,7 +34,9 @@
 
 #include "codes/code_layout.h"
 #include "codes/stripe.h"
+#include "obs/metrics.h"
 #include "raid/address_map.h"
+#include "raid/array_metrics.h"
 #include "raid/journal.h"
 #include "raid/mem_disk.h"
 #include "raid/planner.h"
@@ -42,10 +44,22 @@
 
 namespace dcode::raid {
 
+// Result of a full parity scrub: every stripe whose parity equations do
+// not match its data, by stripe id (what a repair pass needs, not just a
+// count).
+struct ScrubReport {
+  int64_t stripes_checked = 0;
+  std::vector<int64_t> inconsistent_stripes;  // ascending
+};
+
 class Raid6Array {
  public:
+  // `registry` receives the array's metrics (counters, histograms,
+  // per-disk element access counters); nullptr means the process-global
+  // obs::Registry. Metrics are additive across arrays sharing a registry.
   Raid6Array(std::unique_ptr<codes::CodeLayout> layout, size_t element_size,
-             int64_t stripes, unsigned threads = 0);
+             int64_t stripes, unsigned threads = 0,
+             obs::Registry* registry = nullptr);
 
   const codes::CodeLayout& layout() const { return *layout_; }
   size_t element_size() const { return element_size_; }
@@ -76,11 +90,28 @@ class Raid6Array {
   // Parity scrub: returns the number of stripes whose parities are
   // inconsistent with their data.
   int64_t scrub();
+  // Like scrub(), but reports *which* stripes are inconsistent so a
+  // repair pass (or a metrics consumer) can act per stripe.
+  ScrubReport scrub_report();
 
   int failed_disk_count() const;
   const MemDisk& disk(int d) const { return *disks_[static_cast<size_t>(d)]; }
   MemDisk& disk(int d) { return *disks_[static_cast<size_t>(d)]; }
   void reset_stats();
+
+  // --- Observability ------------------------------------------------------
+  // The registry this array's metrics live in.
+  obs::Registry& metrics_registry() const { return *metrics_.reg; }
+  // Cumulative element accesses (reads + writes) per physical disk since
+  // construction / the last reset_stats() — the runtime equivalent of the
+  // simulator's sim::IoStats per-disk tallies; every MemDisk access in
+  // this array is element-granular, so the two units coincide.
+  std::vector<int64_t> per_disk_element_accesses() const;
+  // Copies each disk's cumulative MemDisk counters and fault state into
+  // labeled gauges (raid.disk.reads{disk=N}, .writes, .bytes_read,
+  // .bytes_written, .failed) of `registry` — an explicit pull for
+  // exposition; call right before scraping/printing.
+  void publish_disk_metrics(obs::Registry& registry) const;
 
   // --- Write-hole protection ---------------------------------------------
   // Turns on write-ahead intent journaling for all subsequent writes.
@@ -104,6 +135,9 @@ class Raid6Array {
   // every write in order.
   void write_element(int disk, int64_t stripe, int row,
                      std::span<const uint8_t> data);
+  // All element reads funnel through here so the per-disk access
+  // counters see every read (mirrors write_element).
+  void read_element(int disk, int64_t stripe, int row, uint8_t* dst);
   // Consumes one unit of the injected write budget (journal records and
   // element writes both count); throws PowerLossError at zero.
   void consume_write_budget();
@@ -128,6 +162,7 @@ class Raid6Array {
   std::vector<bool> needs_rebuild_;
 
   int hot_spares_ = 0;
+  ArrayMetrics metrics_;
   std::optional<WriteIntentJournal> journal_;
   // Atomics: rebuild writes flow through the thread pool.
   std::atomic<int64_t> crash_countdown_{-1};  // -1 = no injection armed

@@ -18,6 +18,11 @@ namespace dcode::sim {
 class IoStats {
  public:
   explicit IoStats(int disks) : per_disk_(static_cast<size_t>(disks), 0) {}
+  // Adopts an existing per-disk tally — the bridge from runtime counters
+  // (e.g. raid::Raid6Array::per_disk_element_accesses()) into the
+  // simulator's metric machinery.
+  explicit IoStats(std::vector<int64_t> per_disk)
+      : per_disk_(std::move(per_disk)) {}
 
   int disks() const { return static_cast<int>(per_disk_.size()); }
   int64_t accesses(int disk) const {
@@ -48,10 +53,24 @@ class IoStats {
     return m;
   }
 
+  // Combines another tally into this one (disk-by-disk sum), so runtime
+  // per-disk counters and simulator counters can be compared on equal
+  // footing or accumulated across experiment phases.
+  void merge(const IoStats& other) {
+    DCODE_CHECK(other.disks() == disks(),
+                "cannot merge IoStats over different disk counts");
+    for (size_t i = 0; i < per_disk_.size(); ++i) {
+      per_disk_[i] += other.per_disk_[i];
+    }
+  }
+
   int64_t min_load() const {
+    // Empty check first: the scan below must not run (and its sentinel
+    // must not leak out) when there are no disks at all.
+    if (per_disk_.empty()) return 0;
     int64_t m = std::numeric_limits<int64_t>::max();
     for (int64_t v : per_disk_) m = v < m ? v : m;
-    return per_disk_.empty() ? 0 : m;
+    return m;
   }
 
   // Lmax / Lmin; +infinity if some disk saw no I/O at all.

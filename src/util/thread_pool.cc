@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace dcode {
@@ -11,6 +13,37 @@ namespace {
 // Set for the lifetime of a worker thread so parallel_for can detect a
 // nested dispatch onto the pool the caller already serves.
 thread_local const ThreadPool* current_pool = nullptr;
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Process-wide aggregates over every pool, in the global registry.
+struct PoolMetrics {
+  obs::Counter* tasks_run;
+  obs::Counter* busy_ns;
+  obs::Gauge* queue_depth_hwm;
+  obs::Gauge* active_workers;
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics m = [] {
+      auto& reg = obs::Registry::global();
+      return PoolMetrics{
+          &reg.counter("threadpool.tasks_run", {},
+                       "pool tasks (chunks) executed, all pools"),
+          &reg.counter("threadpool.busy_ns", {},
+                       "summed wall time inside pool tasks, all pools"),
+          &reg.gauge("threadpool.queue_depth_hwm", {},
+                     "max tasks ever queued at once, any pool"),
+          &reg.gauge("threadpool.active_workers", {},
+                     "workers running a task right now, all pools"),
+      };
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -55,8 +88,34 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    run_task(task);
   }
+}
+
+void ThreadPool::run_task(const std::function<void()>& task) {
+  const PoolMetrics& pm = PoolMetrics::get();
+  active_workers_.fetch_add(1, std::memory_order_relaxed);
+  pm.active_workers->add(1);
+  const int64_t t0 = now_ns();
+  task();  // Batch wrapper: never throws across this boundary
+  const int64_t dt = now_ns() - t0;
+  busy_ns_.fetch_add(dt, std::memory_order_relaxed);
+  pm.busy_ns->inc(dt);
+  tasks_run_.fetch_add(1, std::memory_order_relaxed);
+  pm.tasks_run->inc();
+  active_workers_.fetch_sub(1, std::memory_order_relaxed);
+  pm.active_workers->sub(1);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.queue_depth_high_water = queue_depth_hwm_.load(std::memory_order_relaxed);
+  s.active_workers = active_workers_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.queued = tasks_.size();
+  return s;
 }
 
 void ThreadPool::parallel_for(size_t count,
@@ -103,6 +162,11 @@ void ThreadPool::parallel_for_chunked(
       begin = end;
     }
     DCODE_ASSERT(begin == count, "chunking must cover the whole range");
+    const int64_t depth = static_cast<int64_t>(tasks_.size());
+    if (depth > queue_depth_hwm_.load(std::memory_order_relaxed)) {
+      queue_depth_hwm_.store(depth, std::memory_order_relaxed);
+      PoolMetrics::get().queue_depth_hwm->update_max(depth);
+    }
   }
   task_cv_.notify_all();
 

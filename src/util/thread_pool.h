@@ -15,8 +15,10 @@
 // need its own queue slot to drain.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,6 +29,17 @@ namespace dcode {
 
 class ThreadPool {
  public:
+  // Point-in-time introspection of one pool (per-pool numbers; the
+  // process-wide aggregates across pools live in obs::Registry::global()
+  // under threadpool.*).
+  struct Stats {
+    int64_t tasks_run = 0;          // chunks executed to completion
+    int64_t busy_ns = 0;            // summed wall time inside tasks
+    int64_t queue_depth_high_water = 0;  // max tasks ever queued at once
+    unsigned active_workers = 0;    // workers running a task right now
+    size_t queued = 0;              // tasks waiting in the queue right now
+  };
+
   // `threads == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -35,6 +48,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  Stats stats() const;
 
   // Runs fn(i) for i in [0, count), partitioned into contiguous chunks,
   // and blocks until all iterations complete. Runs inline when the pool
@@ -51,12 +66,20 @@ class ThreadPool {
   struct Batch;  // per-dispatch completion ticket (defined in the .cc)
 
   void worker_loop();
+  void run_task(const std::function<void()>& task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_cv_;  // workers wait for tasks
   bool stopping_ = false;
+
+  // Accounting (relaxed atomics: read by stats() and the obs collector
+  // without the queue lock).
+  std::atomic<int64_t> tasks_run_{0};
+  std::atomic<int64_t> busy_ns_{0};
+  std::atomic<int64_t> queue_depth_hwm_{0};
+  std::atomic<unsigned> active_workers_{0};
 };
 
 }  // namespace dcode

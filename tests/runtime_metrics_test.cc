@@ -1,0 +1,313 @@
+// Runtime observability of the RAID layer: the array's per-disk element
+// access counters must agree exactly with the planner's IoPlan
+// predictions (healthy and degraded), operation counters must track what
+// the array actually did, and the ThreadPool/scrub/journal introspection
+// must report truthfully.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "codes/registry.h"
+#include "obs/metrics.h"
+#include "raid/planner.h"
+#include "raid/raid6_array.h"
+#include "sim/io_stats.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace dcode::raid {
+namespace {
+
+constexpr size_t kElem = 64;
+
+std::unique_ptr<Raid6Array> make_array(obs::Registry& reg, int p = 7,
+                                       int64_t stripes = 4) {
+  return std::make_unique<Raid6Array>(codes::make_layout("dcode", p), kElem,
+                                      stripes, /*threads=*/1, &reg);
+}
+
+std::vector<uint8_t> random_bytes(size_t n, uint64_t seed) {
+  std::vector<uint8_t> buf(n);
+  Pcg32 rng(seed);
+  rng.fill_bytes(buf.data(), buf.size());
+  return buf;
+}
+
+// Per-disk access tally predicted by a plan (reads and writes both count
+// one element access, matching MemDisk element granularity).
+std::vector<int64_t> predicted(const IoPlan& plan, int disks) {
+  std::vector<int64_t> per_disk(static_cast<size_t>(disks), 0);
+  for (const auto& a : plan.accesses) {
+    per_disk[static_cast<size_t>(a.disk)]++;
+  }
+  return per_disk;
+}
+
+TEST(RuntimeVsPlanner, HealthyReadMatchesIoPlan) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 1);
+  array->write(0, data);
+
+  const int64_t start = 3;
+  const int len = 11;
+  array->reset_stats();
+  std::vector<uint8_t> out(static_cast<size_t>(len) * kElem);
+  array->read(start * static_cast<int64_t>(kElem), out);
+
+  AddressMap map(array->layout());
+  IoPlanner planner(map);
+  EXPECT_EQ(array->per_disk_element_accesses(),
+            predicted(planner.plan_read(start, len), array->layout().cols()));
+}
+
+TEST(RuntimeVsPlanner, DegradedReadMatchesIoPlan) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 2);
+  array->write(0, data);
+
+  const int failed = 2;
+  array->fail_disk(failed);
+  const int64_t start = 0;
+  const int len = 13;
+  array->reset_stats();
+  std::vector<uint8_t> out(static_cast<size_t>(len) * kElem);
+  array->read(start * static_cast<int64_t>(kElem), out);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+
+  AddressMap map(array->layout());
+  IoPlanner planner(map);
+  int fd[1] = {failed};
+  EXPECT_EQ(array->per_disk_element_accesses(),
+            predicted(planner.plan_degraded_read(start, len, fd),
+                      array->layout().cols()));
+}
+
+TEST(RuntimeVsPlanner, DoubleDegradedReadMatchesIoPlan) {
+  obs::Registry reg;
+  auto array = make_array(reg, /*p=*/7, /*stripes=*/2);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 3);
+  array->write(0, data);
+
+  array->fail_disk(1);
+  array->fail_disk(4);
+  array->reset_stats();
+  const int len = 9;
+  std::vector<uint8_t> out(static_cast<size_t>(len) * kElem);
+  array->read(0, out);
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), data.begin()));
+
+  AddressMap map(array->layout());
+  IoPlanner planner(map);
+  int fd[2] = {1, 4};
+  EXPECT_EQ(array->per_disk_element_accesses(),
+            predicted(planner.plan_degraded_read(0, len, fd),
+                      array->layout().cols()));
+}
+
+TEST(RuntimeVsPlanner, HealthyWriteMatchesRmwIoPlan) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 4);
+  array->write(0, data);
+
+  const int64_t start = 5;
+  const int len = 7;
+  array->reset_stats();
+  auto fresh = random_bytes(static_cast<size_t>(len) * kElem, 5);
+  array->write(start * static_cast<int64_t>(kElem), fresh);
+
+  // The byte-level array always applies delta-based read-modify-write in
+  // healthy mode, so the RMW plan is the exact prediction.
+  AddressMap map(array->layout());
+  IoPlanner planner(map);
+  EXPECT_EQ(
+      array->per_disk_element_accesses(),
+      predicted(planner.plan_write(start, len, WritePolicy::kReadModifyWrite),
+                array->layout().cols()));
+}
+
+TEST(RuntimeVsPlanner, PerDiskCountersMirrorObsCountersAndMemDisks) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 6);
+  array->write(0, data);
+  std::vector<uint8_t> out(static_cast<size_t>(array->capacity()));
+  array->read(0, out);
+
+  auto per_disk = array->per_disk_element_accesses();
+  ASSERT_EQ(per_disk.size(), static_cast<size_t>(array->layout().cols()));
+  for (int d = 0; d < array->layout().cols(); ++d) {
+    const auto& disk = array->disk(d);
+    EXPECT_EQ(per_disk[static_cast<size_t>(d)], disk.reads() + disk.writes());
+    // The labeled registry counters saw every one of those accesses too
+    // (this registry is private to the array, so the totals coincide).
+    obs::Labels l = {{"disk", std::to_string(d)}};
+    EXPECT_EQ(reg.counter("raid.disk.element_reads", l).value(),
+              disk.reads());
+    EXPECT_EQ(reg.counter("raid.disk.element_writes", l).value(),
+              disk.writes());
+  }
+
+  array->publish_disk_metrics(reg);
+  EXPECT_EQ(reg.gauge("raid.disk.reads", {{"disk", "0"}}).value(),
+            array->disk(0).reads());
+  EXPECT_EQ(reg.gauge("raid.disk.failed", {{"disk", "0"}}).value(), 0);
+}
+
+TEST(RuntimeVsPlanner, OperationCountersTrackWhatHappened) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 7);
+  array->write(0, data);
+  std::vector<uint8_t> out(kElem);
+  array->read(0, out);
+  array->read(static_cast<int64_t>(kElem), out);
+
+  array->fail_disk(0);
+  array->read(0, out);  // degraded
+  array->write(0, std::vector<uint8_t>(kElem, 0xAB));  // degraded
+
+  array->replace_disk(0);
+  array->rebuild();
+
+  EXPECT_EQ(reg.counter("raid.reads").value(), 2);
+  EXPECT_EQ(reg.counter("raid.writes").value(), 1);
+  EXPECT_EQ(reg.counter("raid.degraded_reads").value(), 1);
+  EXPECT_EQ(reg.counter("raid.degraded_writes").value(), 1);
+  EXPECT_EQ(reg.counter("raid.rebuilds").value(), 1);
+  EXPECT_GT(reg.counter("raid.elements_reconstructed").value(), 0);
+  EXPECT_EQ(reg.counter("raid.bytes_read").value(),
+            static_cast<int64_t>(3 * kElem));
+  EXPECT_EQ(reg.gauge("raid.disks_failed").value(), 0);  // repaired
+  EXPECT_EQ(reg.counter("raid.disk.failures", {{"disk", "0"}}).value(), 1);
+
+  // Latency histograms observed one sample per operation.
+  auto snap = reg.snapshot();
+  for (const auto& m : snap.metrics) {
+    if (m.name == "raid.read_latency_ns") {
+      EXPECT_EQ(m.count, 3);
+    } else if (m.name == "raid.write_latency_ns") {
+      EXPECT_EQ(m.count, 2);
+    } else if (m.name == "raid.rebuild_latency_ns") {
+      EXPECT_EQ(m.count, 1);
+    }
+  }
+}
+
+TEST(RuntimeVsPlanner, ScrubReportNamesTheInconsistentStripes) {
+  obs::Registry reg;
+  auto array = make_array(reg, /*p=*/7, /*stripes=*/5);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 8);
+  array->write(0, data);
+  EXPECT_EQ(array->scrub(), 0);
+
+  // Corrupt one data byte in stripes 1 and 3, bypassing the array.
+  const int rows = array->layout().rows();
+  for (int64_t stripe : {int64_t{1}, int64_t{3}}) {
+    uint8_t byte;
+    size_t off = static_cast<size_t>(stripe) * rows * kElem;
+    array->disk(0).read(off, {&byte, 1});
+    byte ^= 0xFF;
+    array->disk(0).write(off, {&byte, 1});
+  }
+
+  ScrubReport report = array->scrub_report();
+  EXPECT_EQ(report.stripes_checked, 5);
+  EXPECT_EQ(report.inconsistent_stripes, (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(reg.counter("raid.scrub.stripes_inconsistent").value(), 2);
+  EXPECT_GE(reg.counter("raid.scrub.stripes_checked").value(), 10);
+}
+
+TEST(RuntimeVsPlanner, JournalMetricsCountIntentsAndRecovery) {
+  obs::Registry reg;
+  auto array = make_array(reg, /*p=*/7, /*stripes=*/3);
+  array->enable_journal();
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 9);
+  array->write(0, data);
+  EXPECT_EQ(reg.counter("raid.journal.intents_opened").value(), 3);
+  EXPECT_EQ(reg.counter("raid.journal.commits").value(), 3);
+
+  // Crash mid-write, then recover: exactly the open stripes replay.
+  array->inject_power_loss_after(3);
+  EXPECT_THROW(array->write(0, std::vector<uint8_t>(kElem, 0x55)),
+               PowerLossError);
+  array->restart();
+  int64_t repaired = array->journal_recover();
+  EXPECT_EQ(repaired, 1);
+  EXPECT_EQ(reg.counter("raid.journal.recoveries").value(), 1);
+  EXPECT_EQ(reg.counter("raid.journal.replayed_stripes").value(), 1);
+}
+
+TEST(IoStatsBridge, VectorConstructorAndMerge) {
+  sim::IoStats runtime(std::vector<int64_t>{4, 0, 6});
+  EXPECT_EQ(runtime.disks(), 3);
+  EXPECT_EQ(runtime.total(), 10);
+  EXPECT_EQ(runtime.max_load(), 6);
+  EXPECT_EQ(runtime.min_load(), 0);
+  EXPECT_TRUE(std::isinf(runtime.load_balancing_factor()));
+
+  sim::IoStats more(3);
+  more.add(0, 1);
+  more.add(1, 2);
+  more.add(2, 3);
+  runtime.merge(more);
+  EXPECT_EQ(runtime.per_disk(), (std::vector<int64_t>{5, 2, 9}));
+  EXPECT_EQ(runtime.min_load(), 2);
+
+  sim::IoStats wrong(4);
+  EXPECT_THROW(runtime.merge(wrong), std::logic_error);
+
+  sim::IoStats empty(0);
+  EXPECT_EQ(empty.min_load(), 0);
+  EXPECT_EQ(empty.max_load(), 0);
+}
+
+TEST(IoStatsBridge, RuntimeAccessesFeedTheSimMetrics) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  auto data = random_bytes(static_cast<size_t>(array->capacity()), 10);
+  array->write(0, data);
+  array->reset_stats();
+  std::vector<uint8_t> out(static_cast<size_t>(array->capacity()));
+  array->read(0, out);
+
+  sim::IoStats stats(array->per_disk_element_accesses());
+  // A full read touches every data element once and no parities: with
+  // D-Code's two parity rows per disk, every disk carries data, so no
+  // disk is idle and LF is finite.
+  EXPECT_EQ(stats.total(),
+            array->layout().data_count() * array->stripes());
+  EXPECT_GE(stats.load_balancing_factor(), 1.0);
+  EXPECT_FALSE(std::isinf(stats.load_balancing_factor()));
+}
+
+TEST(ThreadPoolStats, CountsTasksAndQueueHighWater) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.parallel_for(1000, [&sum](size_t i) {
+    sum.fetch_add(static_cast<int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+
+  ThreadPool::Stats stats = pool.stats();
+  // 1000 items over 4 workers dispatch as 4 chunks.
+  EXPECT_EQ(stats.tasks_run, 4);
+  EXPECT_GE(stats.queue_depth_high_water, 1);
+  EXPECT_LE(stats.queue_depth_high_water, 4);
+  EXPECT_GE(stats.busy_ns, 0);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.active_workers, 0u);
+
+  // Inline execution (single-item range) bypasses the queue: no new
+  // dispatched tasks are recorded.
+  pool.parallel_for(1, [](size_t) {});
+  EXPECT_EQ(pool.stats().tasks_run, 4);
+}
+
+}  // namespace
+}  // namespace dcode::raid
