@@ -8,6 +8,7 @@
 // medium on mixed (2.61 -> 1.97 read-intensive, 1.38 -> 1.63 mixed); HDP,
 // X-Code and D-Code all close to 1 (1.03 - 1.07 on mixed).
 #include "bench_common.h"
+#include "runtime_vs_sim.h"
 #include "sim/experiments.h"
 
 using namespace dcode;
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
     table.print(std::cout);
     std::cout << "\n";
   }
+
+  // The same LF computation validated against the live array: identical
+  // <S, L, T> workload through Raid6Array and the planner (ROADMAP item).
+  report_runtime_vs_sim(telemetry, sim::WorkloadKind::kMixed, "mixed");
 
   std::cout << "Paper shape check: rdp/hcode unbalanced, hdp/xcode/dcode "
                "close to 1 under every workload.\n";

@@ -8,6 +8,7 @@
 // and H-Code are at most ~3.4% cheaper than D-Code (they have one more
 // disk to shunt accesses to).
 #include "bench_common.h"
+#include "runtime_vs_sim.h"
 #include "sim/experiments.h"
 
 using namespace dcode;
@@ -67,6 +68,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
+  // Total-cost view of the same cross-check: identical <S, L, T> workload
+  // through Raid6Array and the planner (ROADMAP item), read-intensive mix.
+  report_runtime_vs_sim(telemetry, sim::WorkloadKind::kReadIntensive,
+                        "read_intensive");
+
   std::cout << "Paper shape check: hdp/xcode cost the most on write-bearing "
                "workloads; dcode within a few percent of rdp/hcode.\n";
   telemetry.finish();

@@ -6,10 +6,14 @@
 
 #include "gbench_telemetry.h"
 
+#include <string>
 #include <vector>
 
+#include "gf/gf.h"
 #include "util/aligned_buffer.h"
 #include "util/rng.h"
+#include "xorops/isa.h"
+#include "xorops/xor_backend.h"
 #include "xorops/xor_region.h"
 
 using namespace dcode;
@@ -72,13 +76,72 @@ void BM_XorManyFused(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * n * kLen);
 }
 
+// Per-backend variants via the explicit-ISA entry points, so one run on
+// wide-vector hardware reports every compiled-in backend side by side
+// (the acceptance gate: avx2 mul_region8 >= 3x scalar).
+void BM_XorIntoIsa(benchmark::State& state, xorops::Isa isa) {
+  const auto& k = xorops::detail::xor_kernels(isa);
+  Buffers b(1);
+  for (auto _ : state) {
+    k.xor_into(b.dst.data(), b.ptrs[0], kLen);
+    benchmark::DoNotOptimize(b.dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+
+void BM_Xor5IntoIsa(benchmark::State& state, xorops::Isa isa) {
+  const auto& k = xorops::detail::xor_kernels(isa);
+  Buffers b(5);
+  for (auto _ : state) {
+    k.xor5_into(b.dst.data(), b.ptrs[0], b.ptrs[1], b.ptrs[2], b.ptrs[3],
+                b.ptrs[4], kLen);
+    benchmark::DoNotOptimize(b.dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 5 * kLen);
+}
+
+void BM_MulRegion8Isa(benchmark::State& state, xorops::Isa isa,
+                      bool accumulate) {
+  const gf::GaloisField& f = gf::gf8();
+  Buffers b(1);
+  for (auto _ : state) {
+    f.mul_region(b.dst.data(), b.ptrs[0], 0x1d, kLen, accumulate, isa);
+    benchmark::DoNotOptimize(b.dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+
+// w=16 region multiply through the dispatched path; kLen is far above the
+// table-build threshold, so this measures the two-table fast path.
+void BM_MulRegion16(benchmark::State& state) {
+  const gf::GaloisField& f = gf::gf16();
+  Buffers b(1);
+  for (auto _ : state) {
+    f.mul_region(b.dst.data(), b.ptrs[0], 0x1234, kLen, false);
+    benchmark::DoNotOptimize(b.dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * kLen);
+}
+
 }  // namespace
 
 BENCHMARK(BM_XorIntoNaive);
 BENCHMARK(BM_XorInto);
 BENCHMARK(BM_XorManyPairwise)->Arg(4)->Arg(10)->Arg(15);
 BENCHMARK(BM_XorManyFused)->Arg(4)->Arg(10)->Arg(15);
+BENCHMARK(BM_MulRegion16);
 
 int main(int argc, char** argv) {
+  for (xorops::Isa isa : xorops::supported_isas()) {
+    const std::string tag = xorops::isa_name(isa);
+    benchmark::RegisterBenchmark(("BM_XorInto/isa:" + tag).c_str(),
+                                 BM_XorIntoIsa, isa);
+    benchmark::RegisterBenchmark(("BM_Xor5Into/isa:" + tag).c_str(),
+                                 BM_Xor5IntoIsa, isa);
+    benchmark::RegisterBenchmark(("BM_MulRegion8/isa:" + tag).c_str(),
+                                 BM_MulRegion8Isa, isa, false);
+    benchmark::RegisterBenchmark(("BM_MulRegion8Acc/isa:" + tag).c_str(),
+                                 BM_MulRegion8Isa, isa, true);
+  }
   return dcode::bench::run_gbench_with_telemetry("bench_xor_kernels", argc, argv);
 }

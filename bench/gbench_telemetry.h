@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "xorops/isa.h"
 
 namespace dcode::bench {
 
@@ -20,7 +21,9 @@ class TelemetryReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred || run.iterations <= 0) continue;
-      obs::Labels labels = {{"name", run.benchmark_name()}};
+      obs::Labels labels = {
+          {"name", run.benchmark_name()},
+          {"isa", xorops::isa_name(xorops::active_isa())}};
       telemetry_->add(
           "real_time_s_per_iter",
           run.real_accumulated_time / static_cast<double>(run.iterations),
@@ -44,6 +47,8 @@ class TelemetryReporter : public benchmark::ConsoleReporter {
 inline int run_gbench_with_telemetry(const std::string& bench_name, int argc,
                                      char** argv) {
   Telemetry telemetry(bench_name, argc, argv);
+  benchmark::AddCustomContext("dcode_isa",
+                              xorops::isa_name(xorops::active_isa()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   TelemetryReporter reporter(&telemetry);

@@ -19,6 +19,18 @@ GaloisField::GaloisField(int w) : w_(w) {
         mul8_[(a << 8) | b] = static_cast<uint8_t>(mul(a, b));
       }
     }
+    // Split tables: c * x = c * (x & 0xf)  ^  c * (x & 0xf0), so two
+    // 16-entry lookups cover a byte — the shape PSHUFB evaluates 16/32/64
+    // bytes at a time.
+    nib8_.assign(256 * 32, 0);
+    for (uint32_t c = 0; c < 256; ++c) {
+      uint8_t* t = &nib8_[c * 32];
+      for (uint32_t x = 0; x < 16; ++x) {
+        t[x] = static_cast<uint8_t>(mul(c, x));
+        t[16 + x] = static_cast<uint8_t>(mul(c, x << 4));
+      }
+    }
+    mul8_fn_ = detail::mul_region8_kernel(xorops::active_isa());
   }
 }
 
@@ -45,6 +57,44 @@ uint32_t GaloisField::pow(uint32_t a, uint32_t e) const {
   return antilog_[l];
 }
 
+namespace detail {
+
+void mul_region8_scalar(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                        const uint8_t* row, size_t len, bool accumulate) {
+  (void)nib;  // the 256-entry row is faster than two nibble lookups here
+  if (accumulate) {
+    for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+  } else {
+    for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+  }
+}
+
+MulRegion8Fn mul_region8_kernel(xorops::Isa isa) {
+  DCODE_CHECK(xorops::isa_supported(isa),
+              "requested ISA backend is not available");
+  switch (isa) {
+    case xorops::Isa::kScalar:
+      break;
+#ifdef DCODE_HAVE_ISA_SSE2
+    case xorops::Isa::kSse2:
+      return mul_region8_ssse3;
+#endif
+#ifdef DCODE_HAVE_ISA_AVX2
+    case xorops::Isa::kAvx2:
+      return mul_region8_avx2;
+#endif
+#ifdef DCODE_HAVE_ISA_AVX512
+    case xorops::Isa::kAvx512:
+      return mul_region8_avx512;
+#endif
+    default:
+      break;
+  }
+  return mul_region8_scalar;
+}
+
+}  // namespace detail
+
 void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
                              size_t len, bool accumulate) const {
   DCODE_CHECK(c <= max_element(), "constant outside the field");
@@ -63,12 +113,7 @@ void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
 
   switch (w_) {
     case 8: {
-      const uint8_t* row = &mul8_[c << 8];
-      if (accumulate) {
-        for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
-      } else {
-        for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
-      }
+      mul8_fn_(dst, src, &nib8_[c * 32], &mul8_[c << 8], len, accumulate);
       break;
     }
     case 4: {
@@ -87,6 +132,31 @@ void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
     }
     case 16: {
       DCODE_CHECK(len % 2 == 0, "w=16 regions must be even-length");
+      // Regions long enough to amortize the build get two 256-entry
+      // product tables (one per source byte): with e = elo ^ (ehi << 8),
+      // c*e = c*elo ^ c*(ehi << 8), so each element becomes two lookups
+      // and a XOR instead of a log/antilog mul() with a zero branch.
+      constexpr size_t kTableThresholdBytes = 1024;
+      if (len >= kTableThresholdBytes) {
+        uint16_t lo_tab[256];
+        uint16_t hi_tab[256];
+        for (uint32_t b = 0; b < 256; ++b) {
+          lo_tab[b] = static_cast<uint16_t>(mul(b, c));
+          hi_tab[b] = static_cast<uint16_t>(mul(b << 8, c));
+        }
+        for (size_t i = 0; i < len; i += 2) {
+          uint32_t out = static_cast<uint32_t>(lo_tab[src[i]]) ^
+                         static_cast<uint32_t>(hi_tab[src[i + 1]]);
+          if (accumulate) {
+            dst[i] ^= static_cast<uint8_t>(out);
+            dst[i + 1] ^= static_cast<uint8_t>(out >> 8);
+          } else {
+            dst[i] = static_cast<uint8_t>(out);
+            dst[i + 1] = static_cast<uint8_t>(out >> 8);
+          }
+        }
+        break;
+      }
       for (size_t i = 0; i < len; i += 2) {
         uint32_t e = static_cast<uint32_t>(src[i]) |
                      (static_cast<uint32_t>(src[i + 1]) << 8);
@@ -104,6 +174,17 @@ void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
     default:
       DCODE_ASSERT(false, "unreachable word size");
   }
+}
+
+void GaloisField::mul_region(uint8_t* dst, const uint8_t* src, uint32_t c,
+                             size_t len, bool accumulate,
+                             xorops::Isa isa) const {
+  DCODE_CHECK(w_ == 8, "per-ISA mul_region exists only for w=8");
+  DCODE_CHECK(c <= max_element(), "constant outside the field");
+  // No c==0/1 shortcuts here: the differential tests want the kernels
+  // themselves exercised for every constant.
+  detail::mul_region8_kernel(isa)(dst, src, &nib8_[c * 32], &mul8_[c << 8],
+                                  len, accumulate);
 }
 
 const GaloisField& gf4() {

@@ -2,15 +2,18 @@
 //
 // The Reed–Solomon baselines (the role Jerasure 1.2 plays in the paper)
 // need finite-field multiplication. We build log/antilog tables at
-// construction from the standard primitive polynomials, plus a full
-// 256x256 product table for w=8 so the hot region-multiply loop is a
-// single lookup per byte. The class is immutable after construction and
+// construction from the standard primitive polynomials, plus — for w=8 —
+// a full 256x256 product table (scalar path: one lookup per byte) and a
+// per-constant 4-bit split-table array that the SIMD mul_region backends
+// shuffle in-register (see gf/gf_region.h; backend chosen once via
+// xorops::active_isa()). The class is immutable after construction and
 // safe to share across threads.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "gf/gf_region.h"
 #include "util/check.h"
 
 namespace dcode::gf {
@@ -62,8 +65,16 @@ class GaloisField {
   // packed field elements (w=8: bytes; w=16: little-endian uint16; w=4:
   // two elements per byte). If `accumulate`, XORs into dst, else assigns.
   // len must be a multiple of the element byte width (1 for w=4/8).
+  // For w=8 this dispatches to the SIMD backend resolved at construction.
   void mul_region(uint8_t* dst, const uint8_t* src, uint32_t c, size_t len,
                   bool accumulate) const;
+
+  // w=8 only: same contract, but forced through a specific backend —
+  // how the differential tests and per-ISA benches pin each backend
+  // regardless of what active_isa() resolved to. Throws if `isa` is not
+  // supported on this CPU/build.
+  void mul_region(uint8_t* dst, const uint8_t* src, uint32_t c, size_t len,
+                  bool accumulate, xorops::Isa isa) const;
 
  private:
   void build_tables(uint32_t prim_poly);
@@ -73,6 +84,11 @@ class GaloisField {
   std::vector<int> log_;          // log_[a], a in [1, 2^w)
   std::vector<uint32_t> antilog_; // antilog_[e], e in [0, 2*(2^w-1))
   std::vector<uint8_t> mul8_;     // full product table, w=8 only
+  // w=8 only: one 32-byte row per constant c — products of c with the 16
+  // low nibbles, then with the 16 high nibbles (x << 4). The vector
+  // backends broadcast these rows into PSHUFB lookups.
+  std::vector<uint8_t> nib8_;
+  detail::MulRegion8Fn mul8_fn_ = nullptr;  // resolved once, w=8 only
 };
 
 // Shared singletons (tables are expensive to rebuild per codec).

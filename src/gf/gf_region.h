@@ -1,0 +1,47 @@
+// Per-ISA region-multiply kernels behind GaloisField::mul_region (w=8).
+//
+// All backends implement the same split-table contract: the caller passes
+// the constant's 32-byte nibble-table row `nib` (bytes 0..15 are the
+// products c*x for x in 0..15, bytes 16..31 are c*(x<<4); GaloisField
+// precomputes one row per constant) and its 256-entry full product row
+// `row` (used for scalar tails). A byte's product is then
+// nib[b & 0xf] ^ nib[16 + (b >> 4)] — two 16-entry lookups the vector
+// backends evaluate 16/32/64 bytes at a time with PSHUFB-style in-register
+// shuffles (the technique of Plank's "screaming fast" split tables and
+// Intel ISA-L).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "xorops/isa.h"
+
+namespace dcode::gf::detail {
+
+// dst[i] (op)= product(c, src[i]) over len bytes; `accumulate` selects
+// XOR-into versus assign. Pointers may be arbitrarily unaligned and len
+// arbitrary.
+using MulRegion8Fn = void (*)(uint8_t* dst, const uint8_t* src,
+                              const uint8_t* nib, const uint8_t* row,
+                              size_t len, bool accumulate);
+
+// Kernel for one backend; throws std::logic_error if `isa` is not
+// supported (not compiled in, or the CPU lacks it).
+MulRegion8Fn mul_region8_kernel(xorops::Isa isa);
+
+void mul_region8_scalar(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                        const uint8_t* row, size_t len, bool accumulate);
+#ifdef DCODE_HAVE_ISA_SSE2
+void mul_region8_ssse3(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                       const uint8_t* row, size_t len, bool accumulate);
+#endif
+#ifdef DCODE_HAVE_ISA_AVX2
+void mul_region8_avx2(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                      const uint8_t* row, size_t len, bool accumulate);
+#endif
+#ifdef DCODE_HAVE_ISA_AVX512
+void mul_region8_avx512(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                        const uint8_t* row, size_t len, bool accumulate);
+#endif
+
+}  // namespace dcode::gf::detail

@@ -1,0 +1,44 @@
+// 256-bit (AVX2 VPSHUFB) GF(2^8) region-multiply backend.
+#include "gf/gf_region.h"
+
+#ifdef DCODE_HAVE_ISA_AVX2
+
+#include <immintrin.h>
+
+#include "gf/gf_simd_impl.h"
+
+namespace dcode::gf::detail {
+namespace {
+
+struct Avx2Traits {
+  using V = __m256i;
+  static V load(const uint8_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(uint8_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V vxor(V a, V b) { return _mm256_xor_si256(a, b); }
+  static V broadcast_table(const uint8_t* t) {
+    return _mm256_broadcastsi128_si256(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t)));
+  }
+  static V low_nibbles(V v) {
+    return _mm256_and_si256(v, _mm256_set1_epi8(0x0f));
+  }
+  static V high_nibbles(V v) {
+    return _mm256_and_si256(_mm256_srli_epi64(v, 4), _mm256_set1_epi8(0x0f));
+  }
+  static V shuffle(V table, V idx) { return _mm256_shuffle_epi8(table, idx); }
+};
+
+}  // namespace
+
+void mul_region8_avx2(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                      const uint8_t* row, size_t len, bool accumulate) {
+  simd_mul_region8<Avx2Traits>(dst, src, nib, row, len, accumulate);
+}
+
+}  // namespace dcode::gf::detail
+
+#endif  // DCODE_HAVE_ISA_AVX2

@@ -1,0 +1,51 @@
+// 512-bit (AVX-512BW VPSHUFB) GF(2^8) region-multiply backend.
+#include "gf/gf_region.h"
+
+#ifdef DCODE_HAVE_ISA_AVX512
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "gf/gf_simd_impl.h"
+
+namespace dcode::gf::detail {
+namespace {
+
+struct Avx512Traits {
+  using V = __m512i;
+  static V load(const uint8_t* p) { return _mm512_loadu_si512(p); }
+  static void store(uint8_t* p, V v) { _mm512_storeu_si512(p, v); }
+  static V vxor(V a, V b) { return _mm512_xor_si512(a, b); }
+  static V broadcast_table(const uint8_t* t) {
+    // Replicate through memory instead of _mm512_broadcast_i32x4: GCC's
+    // implementation of the lane-broadcast intrinsics routes through
+    // _mm512_undefined_epi32 and trips -Wuninitialized. Runs once per
+    // region call, outside the hot loop.
+    alignas(64) uint8_t rep[64];
+    for (int i = 0; i < 64; i += 16) std::memcpy(rep + i, t, 16);
+    return _mm512_load_si512(rep);
+  }
+  static V low_nibbles(V v) {
+    return _mm512_and_si512(v, _mm512_set1_epi8(0x0f));
+  }
+  static V high_nibbles(V v) {
+    // maskz variant of srli: the plain _mm512_srli_epi64 goes through
+    // GCC's _mm512_undefined_epi32 and trips -Wuninitialized (GCC 12).
+    return _mm512_and_si512(
+        _mm512_maskz_srli_epi64(static_cast<__mmask8>(-1), v, 4),
+        _mm512_set1_epi8(0x0f));
+  }
+  static V shuffle(V table, V idx) { return _mm512_shuffle_epi8(table, idx); }
+};
+
+}  // namespace
+
+void mul_region8_avx512(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                        const uint8_t* row, size_t len, bool accumulate) {
+  simd_mul_region8<Avx512Traits>(dst, src, nib, row, len, accumulate);
+}
+
+}  // namespace dcode::gf::detail
+
+#endif  // DCODE_HAVE_ISA_AVX512

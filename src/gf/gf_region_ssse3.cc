@@ -1,0 +1,41 @@
+// 128-bit (SSSE3 PSHUFB) GF(2^8) region-multiply backend.
+#include "gf/gf_region.h"
+
+#ifdef DCODE_HAVE_ISA_SSE2
+
+#include <tmmintrin.h>
+
+#include "gf/gf_simd_impl.h"
+
+namespace dcode::gf::detail {
+namespace {
+
+struct Ssse3Traits {
+  using V = __m128i;
+  static V load(const uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(uint8_t* p, V v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static V vxor(V a, V b) { return _mm_xor_si128(a, b); }
+  static V broadcast_table(const uint8_t* t) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(t));
+  }
+  static V low_nibbles(V v) { return _mm_and_si128(v, _mm_set1_epi8(0x0f)); }
+  static V high_nibbles(V v) {
+    return _mm_and_si128(_mm_srli_epi64(v, 4), _mm_set1_epi8(0x0f));
+  }
+  static V shuffle(V table, V idx) { return _mm_shuffle_epi8(table, idx); }
+};
+
+}  // namespace
+
+void mul_region8_ssse3(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                       const uint8_t* row, size_t len, bool accumulate) {
+  simd_mul_region8<Ssse3Traits>(dst, src, nib, row, len, accumulate);
+}
+
+}  // namespace dcode::gf::detail
+
+#endif  // DCODE_HAVE_ISA_SSE2

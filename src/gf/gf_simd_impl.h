@@ -1,0 +1,59 @@
+// Shared body for the vector GF(2^8) region-multiply backends.
+//
+// Instantiated from each backend TU (compiled with that ISA's target
+// flags) with a Traits type wrapping the intrinsics:
+//
+//   struct Traits {
+//     using V = <vector register type>;
+//     static V load(const uint8_t* p);            // unaligned
+//     static void store(uint8_t* p, V v);         // unaligned
+//     static V vxor(V a, V b);
+//     static V broadcast_table(const uint8_t* t); // 16B table -> every lane
+//     static V low_nibbles(V v);                  // v & 0x0f, per byte
+//     static V high_nibbles(V v);                 // (v >> 4) & 0x0f
+//     static V shuffle(V table, V idx);           // per-lane byte shuffle
+//   };
+//
+// PSHUFB-family shuffles operate within each 128-bit lane, which is
+// exactly right here: the same 16-entry table is broadcast to every lane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcode::gf::detail {
+
+template <typename T>
+void simd_mul_region8(uint8_t* dst, const uint8_t* src, const uint8_t* nib,
+                      const uint8_t* row, size_t len, bool accumulate) {
+  constexpr size_t kV = sizeof(typename T::V);
+  const auto lo = T::broadcast_table(nib);
+  const auto hi = T::broadcast_table(nib + 16);
+  size_t i = 0;
+  auto product = [&](size_t at) {
+    auto v = T::load(src + at);
+    return T::vxor(T::shuffle(lo, T::low_nibbles(v)),
+                   T::shuffle(hi, T::high_nibbles(v)));
+  };
+  if (accumulate) {
+    for (; i + 2 * kV <= len; i += 2 * kV) {
+      T::store(dst + i, T::vxor(T::load(dst + i), product(i)));
+      T::store(dst + i + kV, T::vxor(T::load(dst + i + kV), product(i + kV)));
+    }
+    for (; i + kV <= len; i += kV) {
+      T::store(dst + i, T::vxor(T::load(dst + i), product(i)));
+    }
+    for (; i < len; ++i) dst[i] ^= row[src[i]];
+  } else {
+    for (; i + 2 * kV <= len; i += 2 * kV) {
+      T::store(dst + i, product(i));
+      T::store(dst + i + kV, product(i + kV));
+    }
+    for (; i + kV <= len; i += kV) {
+      T::store(dst + i, product(i));
+    }
+    for (; i < len; ++i) dst[i] = row[src[i]];
+  }
+}
+
+}  // namespace dcode::gf::detail

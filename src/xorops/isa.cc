@@ -1,0 +1,136 @@
+#include "xorops/isa.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "util/cpu.h"
+
+namespace dcode::xorops {
+namespace {
+
+constexpr Isa kAllIsas[] = {Isa::kScalar, Isa::kSse2, Isa::kAvx2,
+                            Isa::kAvx512};
+
+bool parse_isa(const char* s, Isa* out) {
+  for (Isa isa : kAllIsas) {
+    if (std::strcmp(s, isa_name(isa)) == 0) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+Isa best_supported() {
+  Isa best = Isa::kScalar;
+  for (Isa isa : kAllIsas) {
+    if (isa_supported(isa)) best = isa;
+  }
+  return best;
+}
+
+Isa resolve() {
+  Isa chosen = best_supported();
+  const char* env = std::getenv("DCODE_ISA");
+  if (env != nullptr && env[0] != '\0') {
+    Isa requested;
+    if (!parse_isa(env, &requested)) {
+      std::cerr << "dcode: ignoring unknown DCODE_ISA='" << env
+                << "' (expected scalar|sse2|avx2|avx512)\n";
+    } else if (requested > chosen) {
+      std::cerr << "dcode: DCODE_ISA=" << env
+                << " not supported on this CPU/build; using "
+                << isa_name(chosen) << "\n";
+    } else {
+      chosen = requested;
+    }
+  }
+
+  // Export the choice so every telemetry document (which snapshots the
+  // global registry) records the ISA that produced its numbers.
+  auto& reg = obs::Registry::global();
+  for (Isa isa : kAllIsas) {
+    reg.gauge("isa.supported", {{"isa", isa_name(isa)}},
+              "kernel backend compiled in and runnable on this CPU")
+        .set(isa_supported(isa) ? 1 : 0);
+  }
+  reg.gauge("isa.active", {{"isa", isa_name(chosen)}},
+            "kernel backend all dispatched region ops use")
+      .set(1);
+  return chosen;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+#ifdef DCODE_HAVE_ISA_SSE2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#ifdef DCODE_HAVE_ISA_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#ifdef DCODE_HAVE_ISA_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool isa_supported(Isa isa) {
+  if (!isa_compiled(isa)) return false;
+  const auto& cpu = util::cpu_features();
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      return cpu.sse2 && cpu.ssse3;  // GF kernels need PSHUFB
+    case Isa::kAvx2:
+      return cpu.avx2;
+    case Isa::kAvx512:
+      return cpu.avx512;
+  }
+  return false;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (Isa isa : kAllIsas) {
+    if (isa_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+Isa active_isa() {
+  static const Isa isa = resolve();
+  return isa;
+}
+
+}  // namespace dcode::xorops

@@ -1,0 +1,54 @@
+// Runtime ISA selection for the SIMD kernel backends.
+//
+// Every hot region kernel in the library (the fused XOR kernels in
+// xorops/xor_region.h and GaloisField::mul_region for w=8) has one
+// implementation per vector ISA. This module decides, once per process,
+// which backend every dispatched call uses:
+//
+//   1. Compile-time: a backend exists only if the build enabled it
+//      (DCODE_HAVE_ISA_* definitions, set by src/CMakeLists.txt on x86-64
+//      when the compiler accepts the target flags). The scalar backend
+//      always exists and is the ground truth the others are tested
+//      against.
+//   2. Runtime: the CPU must actually support the ISA (util/cpu.h).
+//      kSse2 is the 128-bit backend; it additionally requires SSSE3
+//      because the GF kernels are built on PSHUFB (universal on x86-64
+//      hardware since ~2006).
+//   3. Override: the DCODE_ISA environment variable
+//      (scalar|sse2|avx2|avx512) caps the choice — requesting a narrower
+//      backend than the hardware's best is honored exactly (how the CI
+//      fallback matrix pins each leg), requesting more than the hardware
+//      supports clamps down to the widest available with a warning, and
+//      unknown values are ignored with a warning.
+//
+// Dispatch is resolved exactly once, on first use, into function-pointer
+// tables — no per-call feature tests. The resolved choice is exported to
+// obs::Registry::global() as gauges (`isa.active{isa=...}` = 1 and
+// `isa.supported{isa=...}` per backend) so bench telemetry records which
+// ISA produced each number.
+#pragma once
+
+#include <vector>
+
+namespace dcode::xorops {
+
+// Ordered narrow-to-wide; comparisons rely on the ordering.
+enum class Isa : int { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3 };
+
+// "scalar", "sse2", "avx2", "avx512".
+const char* isa_name(Isa isa);
+
+// Backend was compiled into this binary.
+bool isa_compiled(Isa isa);
+
+// Backend is compiled in AND runnable on this CPU.
+bool isa_supported(Isa isa);
+
+// Every supported backend, ascending; always starts with kScalar.
+std::vector<Isa> supported_isas();
+
+// The backend the dispatched kernels use, resolved once per process (see
+// file comment for the resolution rules).
+Isa active_isa();
+
+}  // namespace dcode::xorops

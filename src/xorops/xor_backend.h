@@ -1,0 +1,54 @@
+// Per-ISA kernel tables behind the public xorops API.
+//
+// Each backend translation unit (xor_region.cc for scalar,
+// xor_region_{sse2,avx2,avx512}.cc for the vector ISAs) fills one
+// XorKernels table with its implementations of the fused XOR kernels.
+// xor_kernels(isa) hands out a table for any *supported* backend — the
+// public entry points dispatch through the active_isa() table resolved
+// once at startup, while tests and benches grab specific backends to
+// compare them against scalar bit-for-bit.
+//
+// Every kernel accepts arbitrary (unaligned) pointers and arbitrary
+// lengths: the vector backends run their wide main loop and delegate the
+// sub-block tail to the scalar kernels, so element sizes that are not
+// vector multiples keep working.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "xorops/isa.h"
+
+namespace dcode::xorops::detail {
+
+struct XorKernels {
+  void (*xor_into)(uint8_t* dst, const uint8_t* src, size_t len);
+  void (*xor_assign)(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                     size_t len);
+  void (*xor2_into)(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    size_t len);
+  void (*xor3_into)(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, size_t len);
+  void (*xor4_into)(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, const uint8_t* d, size_t len);
+  void (*xor5_into)(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, const uint8_t* d, const uint8_t* e,
+                    size_t len);
+};
+
+// Table for one backend; throws std::logic_error if the ISA is not
+// supported (not compiled in, or the CPU lacks it).
+const XorKernels& xor_kernels(Isa isa);
+
+const XorKernels& scalar_xor_kernels();
+#ifdef DCODE_HAVE_ISA_SSE2
+const XorKernels& sse2_xor_kernels();
+#endif
+#ifdef DCODE_HAVE_ISA_AVX2
+const XorKernels& avx2_xor_kernels();
+#endif
+#ifdef DCODE_HAVE_ISA_AVX512
+const XorKernels& avx512_xor_kernels();
+#endif
+
+}  // namespace dcode::xorops::detail

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "xorops/xor_backend.h"
 
 namespace dcode::xorops {
 namespace {
@@ -17,9 +18,7 @@ inline uint64_t load64(const uint8_t* p) {
 
 inline void store64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
 
-}  // namespace
-
-void xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
+void scalar_xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
   size_t i = 0;
   for (; i + 32 <= len; i += 32) {
     store64(dst + i, load64(dst + i) ^ load64(src + i));
@@ -33,7 +32,8 @@ void xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
   for (; i < len; ++i) dst[i] ^= src[i];
 }
 
-void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+void scalar_xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                       size_t len) {
   size_t i = 0;
   for (; i + 8 <= len; i += 8) {
     store64(dst + i, load64(a + i) ^ load64(b + i));
@@ -41,7 +41,8 @@ void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
   for (; i < len; ++i) dst[i] = a[i] ^ b[i];
 }
 
-void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+void scalar_xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                      size_t len) {
   size_t i = 0;
   for (; i + 8 <= len; i += 8) {
     store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i));
@@ -49,8 +50,18 @@ void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
   for (; i < len; ++i) dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i]);
 }
 
-void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
-               const uint8_t* c, const uint8_t* d, size_t len) {
+void scalar_xor3_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                      const uint8_t* c, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^
+                         load64(c + i));
+  }
+  for (; i < len; ++i) dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i] ^ c[i]);
+}
+
+void scalar_xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                      const uint8_t* c, const uint8_t* d, size_t len) {
   size_t i = 0;
   for (; i + 8 <= len; i += 8) {
     store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^
@@ -60,20 +71,117 @@ void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
     dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i]);
 }
 
+void scalar_xor5_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                      const uint8_t* c, const uint8_t* d, const uint8_t* e,
+                      size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    store64(dst + i, load64(dst + i) ^ load64(a + i) ^ load64(b + i) ^
+                         load64(c + i) ^ load64(d + i) ^ load64(e + i));
+  }
+  for (; i < len; ++i)
+    dst[i] ^= static_cast<uint8_t>(a[i] ^ b[i] ^ c[i] ^ d[i] ^ e[i]);
+}
+
+// The backend all public entry points use, resolved on first call.
+const detail::XorKernels& active() {
+  static const detail::XorKernels& k = detail::xor_kernels(active_isa());
+  return k;
+}
+
+}  // namespace
+
+namespace detail {
+
+const XorKernels& scalar_xor_kernels() {
+  static constexpr XorKernels k = {scalar_xor_into,  scalar_xor_assign,
+                                   scalar_xor2_into, scalar_xor3_into,
+                                   scalar_xor4_into, scalar_xor5_into};
+  return k;
+}
+
+const XorKernels& xor_kernels(Isa isa) {
+  DCODE_CHECK(isa_supported(isa), "requested ISA backend is not available");
+  switch (isa) {
+    case Isa::kScalar:
+      break;
+#ifdef DCODE_HAVE_ISA_SSE2
+    case Isa::kSse2:
+      return sse2_xor_kernels();
+#endif
+#ifdef DCODE_HAVE_ISA_AVX2
+    case Isa::kAvx2:
+      return avx2_xor_kernels();
+#endif
+#ifdef DCODE_HAVE_ISA_AVX512
+    case Isa::kAvx512:
+      return avx512_xor_kernels();
+#endif
+    default:
+      break;
+  }
+  return scalar_xor_kernels();
+}
+
+}  // namespace detail
+
+void xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
+  active().xor_into(dst, src, len);
+}
+
+void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+  active().xor_assign(dst, a, b, len);
+}
+
+void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len) {
+  active().xor2_into(dst, a, b, len);
+}
+
+void xor3_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, size_t len) {
+  active().xor3_into(dst, a, b, c, len);
+}
+
+void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, const uint8_t* d, size_t len) {
+  active().xor4_into(dst, a, b, c, d, len);
+}
+
+void xor5_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, const uint8_t* d, const uint8_t* e,
+               size_t len) {
+  active().xor5_into(dst, a, b, c, d, e, len);
+}
+
 void xor_many(uint8_t* dst, std::span<const uint8_t* const> sources,
               size_t len) {
   DCODE_CHECK(!sources.empty(), "xor_many needs at least one source");
+  const detail::XorKernels& k = active();
   std::memcpy(dst, sources[0], len);
   size_t i = 1;
-  for (; i + 4 <= sources.size(); i += 4) {
-    xor4_into(dst, sources[i], sources[i + 1], sources[i + 2], sources[i + 3],
-              len);
+  const size_t n = sources.size();
+  // Widest fused kernel first, then one call for whatever remains, so dst
+  // is streamed the minimum number of times.
+  for (; i + 5 <= n; i += 5) {
+    k.xor5_into(dst, sources[i], sources[i + 1], sources[i + 2],
+                sources[i + 3], sources[i + 4], len);
   }
-  for (; i + 2 <= sources.size(); i += 2) {
-    xor2_into(dst, sources[i], sources[i + 1], len);
-  }
-  for (; i < sources.size(); ++i) {
-    xor_into(dst, sources[i], len);
+  switch (n - i) {
+    case 4:
+      k.xor4_into(dst, sources[i], sources[i + 1], sources[i + 2],
+                  sources[i + 3], len);
+      break;
+    case 3:
+      k.xor3_into(dst, sources[i], sources[i + 1], sources[i + 2], len);
+      break;
+    case 2:
+      k.xor2_into(dst, sources[i], sources[i + 1], len);
+      break;
+    case 1:
+      k.xor_into(dst, sources[i], len);
+      break;
+    default:
+      break;
   }
 }
 

@@ -1,12 +1,16 @@
-// Word-wide XOR region kernels.
+// Word-wide XOR region kernels with runtime-dispatched SIMD backends.
 //
 // Array-code encode/decode reduces to `dst ^= src` over element-sized
-// regions. These kernels process uint64_t words with a 4-way unrolled main
-// loop the compiler auto-vectorizes, plus fused multi-source variants
-// (xor3/xor5) that keep `dst` in registers across several sources — the
-// dominant pattern when computing a parity of n-3 inputs. Buffers from
-// AlignedBuffer are 64-byte aligned; the kernels also accept unaligned
-// tails byte-by-byte so arbitrary element sizes work.
+// regions. Every entry point below dispatches (once-resolved function
+// pointers, see xorops/isa.h) to the widest vector backend the CPU and
+// build support — SSE2, AVX2, or AVX-512 — with a scalar uint64_t
+// implementation as the always-available fallback and ground truth. The
+// fused multi-source variants (xor2/xor3/xor4/xor5) keep `dst` in
+// registers across several sources — the dominant pattern when computing
+// a parity of n-3 inputs; xor_many groups arbitrary source counts onto
+// them. Buffers from AlignedBuffer are 64-byte aligned, but all kernels
+// also accept unaligned pointers and arbitrary lengths (vector main loop
+// plus word/byte tails), so arbitrary element sizes work.
 #pragma once
 
 #include <cstddef>
@@ -24,12 +28,22 @@ void xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len);
 // dst[i] ^= a[i] ^ b[i] (two sources, one pass over dst).
 void xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t len);
 
+// dst[i] ^= a[i] ^ b[i] ^ c[i] (three sources, one pass).
+void xor3_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, size_t len);
+
 // dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i] (four sources, one pass).
 void xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
                const uint8_t* c, const uint8_t* d, size_t len);
 
+// dst[i] ^= a[i] ^ b[i] ^ c[i] ^ d[i] ^ e[i] (five sources, one pass).
+void xor5_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+               const uint8_t* c, const uint8_t* d, const uint8_t* e,
+               size_t len);
+
 // dst[i] = XOR of all sources[i]; sources must be non-empty and all of
-// length `len`. Dispatches to the fused kernels in groups.
+// length `len`. Dispatches to the fused kernels in groups of five, then
+// one fused call for whatever remains.
 void xor_many(uint8_t* dst, std::span<const uint8_t* const> sources,
               size_t len);
 

@@ -1,0 +1,32 @@
+// 256-bit (AVX2) XOR backend.
+#include "xorops/xor_backend.h"
+
+#ifdef DCODE_HAVE_ISA_AVX2
+
+#include <immintrin.h>
+
+#include "xorops/xor_simd_impl.h"
+
+namespace dcode::xorops::detail {
+namespace {
+
+struct Avx2Traits {
+  using V = __m256i;
+  static V load(const uint8_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(uint8_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V vxor(V a, V b) { return _mm256_xor_si256(a, b); }
+};
+
+}  // namespace
+
+const XorKernels& avx2_xor_kernels() {
+  return simd_kernel_table<Avx2Traits>();
+}
+
+}  // namespace dcode::xorops::detail
+
+#endif  // DCODE_HAVE_ISA_AVX2

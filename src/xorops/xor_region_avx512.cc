@@ -1,0 +1,28 @@
+// 512-bit (AVX-512F/BW/VL) XOR backend.
+#include "xorops/xor_backend.h"
+
+#ifdef DCODE_HAVE_ISA_AVX512
+
+#include <immintrin.h>
+
+#include "xorops/xor_simd_impl.h"
+
+namespace dcode::xorops::detail {
+namespace {
+
+struct Avx512Traits {
+  using V = __m512i;
+  static V load(const uint8_t* p) { return _mm512_loadu_si512(p); }
+  static void store(uint8_t* p, V v) { _mm512_storeu_si512(p, v); }
+  static V vxor(V a, V b) { return _mm512_xor_si512(a, b); }
+};
+
+}  // namespace
+
+const XorKernels& avx512_xor_kernels() {
+  return simd_kernel_table<Avx512Traits>();
+}
+
+}  // namespace dcode::xorops::detail
+
+#endif  // DCODE_HAVE_ISA_AVX512

@@ -1,0 +1,32 @@
+// 128-bit (SSE2) XOR backend.
+#include "xorops/xor_backend.h"
+
+#ifdef DCODE_HAVE_ISA_SSE2
+
+#include <emmintrin.h>
+
+#include "xorops/xor_simd_impl.h"
+
+namespace dcode::xorops::detail {
+namespace {
+
+struct Sse2Traits {
+  using V = __m128i;
+  static V load(const uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(uint8_t* p, V v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  static V vxor(V a, V b) { return _mm_xor_si128(a, b); }
+};
+
+}  // namespace
+
+const XorKernels& sse2_xor_kernels() {
+  return simd_kernel_table<Sse2Traits>();
+}
+
+}  // namespace dcode::xorops::detail
+
+#endif  // DCODE_HAVE_ISA_SSE2

@@ -1,0 +1,161 @@
+// Shared bodies for the vector XOR backends.
+//
+// Each backend translation unit (compiled with its ISA's target flags)
+// instantiates these templates with a Traits type wrapping the ISA's
+// load/store/xor intrinsics:
+//
+//   struct Traits {
+//     using V = <vector register type>;
+//     static V load(const uint8_t* p);      // unaligned
+//     static void store(uint8_t* p, V v);   // unaligned
+//     static V vxor(V a, V b);
+//   };
+//
+// This header contains no intrinsics itself, so it can be included from
+// any TU; all vector code is generated where the target flags are active.
+// Main loops process four vectors per iteration; the sub-block tail is
+// delegated to the scalar kernels, which handle any length/alignment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "xorops/xor_backend.h"
+
+namespace dcode::xorops::detail {
+
+template <typename T>
+void simd_xor_into(uint8_t* dst, const uint8_t* src, size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 4 * kV <= len; i += 4 * kV) {
+    for (size_t v = 0; v < 4 * kV; v += kV) {
+      T::store(dst + i + v,
+               T::vxor(T::load(dst + i + v), T::load(src + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    T::store(dst + i, T::vxor(T::load(dst + i), T::load(src + i)));
+  }
+  if (i < len) scalar_xor_kernels().xor_into(dst + i, src + i, len - i);
+}
+
+template <typename T>
+void simd_xor_assign(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                     size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 4 * kV <= len; i += 4 * kV) {
+    for (size_t v = 0; v < 4 * kV; v += kV) {
+      T::store(dst + i + v, T::vxor(T::load(a + i + v), T::load(b + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    T::store(dst + i, T::vxor(T::load(a + i), T::load(b + i)));
+  }
+  if (i < len) scalar_xor_kernels().xor_assign(dst + i, a + i, b + i, len - i);
+}
+
+template <typename T>
+void simd_xor2_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 2 * kV <= len; i += 2 * kV) {
+    for (size_t v = 0; v < 2 * kV; v += kV) {
+      auto acc = T::vxor(T::load(dst + i + v), T::load(a + i + v));
+      T::store(dst + i + v, T::vxor(acc, T::load(b + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    auto acc = T::vxor(T::load(dst + i), T::load(a + i));
+    T::store(dst + i, T::vxor(acc, T::load(b + i)));
+  }
+  if (i < len) scalar_xor_kernels().xor2_into(dst + i, a + i, b + i, len - i);
+}
+
+template <typename T>
+void simd_xor3_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 2 * kV <= len; i += 2 * kV) {
+    for (size_t v = 0; v < 2 * kV; v += kV) {
+      auto acc = T::vxor(T::load(dst + i + v), T::load(a + i + v));
+      acc = T::vxor(acc, T::load(b + i + v));
+      T::store(dst + i + v, T::vxor(acc, T::load(c + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    auto acc = T::vxor(T::load(dst + i), T::load(a + i));
+    acc = T::vxor(acc, T::load(b + i));
+    T::store(dst + i, T::vxor(acc, T::load(c + i)));
+  }
+  if (i < len) {
+    scalar_xor_kernels().xor3_into(dst + i, a + i, b + i, c + i, len - i);
+  }
+}
+
+template <typename T>
+void simd_xor4_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, const uint8_t* d, size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 2 * kV <= len; i += 2 * kV) {
+    for (size_t v = 0; v < 2 * kV; v += kV) {
+      auto acc = T::vxor(T::load(dst + i + v), T::load(a + i + v));
+      acc = T::vxor(acc, T::load(b + i + v));
+      acc = T::vxor(acc, T::load(c + i + v));
+      T::store(dst + i + v, T::vxor(acc, T::load(d + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    auto acc = T::vxor(T::load(dst + i), T::load(a + i));
+    acc = T::vxor(acc, T::load(b + i));
+    acc = T::vxor(acc, T::load(c + i));
+    T::store(dst + i, T::vxor(acc, T::load(d + i)));
+  }
+  if (i < len) {
+    scalar_xor_kernels().xor4_into(dst + i, a + i, b + i, c + i, d + i,
+                                   len - i);
+  }
+}
+
+template <typename T>
+void simd_xor5_into(uint8_t* dst, const uint8_t* a, const uint8_t* b,
+                    const uint8_t* c, const uint8_t* d, const uint8_t* e,
+                    size_t len) {
+  constexpr size_t kV = sizeof(typename T::V);
+  size_t i = 0;
+  for (; i + 2 * kV <= len; i += 2 * kV) {
+    for (size_t v = 0; v < 2 * kV; v += kV) {
+      auto acc = T::vxor(T::load(dst + i + v), T::load(a + i + v));
+      acc = T::vxor(acc, T::load(b + i + v));
+      acc = T::vxor(acc, T::load(c + i + v));
+      acc = T::vxor(acc, T::load(d + i + v));
+      T::store(dst + i + v, T::vxor(acc, T::load(e + i + v)));
+    }
+  }
+  for (; i + kV <= len; i += kV) {
+    auto acc = T::vxor(T::load(dst + i), T::load(a + i));
+    acc = T::vxor(acc, T::load(b + i));
+    acc = T::vxor(acc, T::load(c + i));
+    acc = T::vxor(acc, T::load(d + i));
+    T::store(dst + i, T::vxor(acc, T::load(e + i)));
+  }
+  if (i < len) {
+    scalar_xor_kernels().xor5_into(dst + i, a + i, b + i, c + i, d + i, e + i,
+                                   len - i);
+  }
+}
+
+// Fills a table from one Traits instantiation.
+template <typename T>
+const XorKernels& simd_kernel_table() {
+  static constexpr XorKernels k = {
+      simd_xor_into<T>,  simd_xor_assign<T>, simd_xor2_into<T>,
+      simd_xor3_into<T>, simd_xor4_into<T>,  simd_xor5_into<T>};
+  return k;
+}
+
+}  // namespace dcode::xorops::detail
