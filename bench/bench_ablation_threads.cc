@@ -37,7 +37,7 @@ void BM_RebuildTwoDisks(benchmark::State& state) {
     array.replace_disk(9);
     state.ResumeTiming();
     array.rebuild();
-    benchmark::DoNotOptimize(array.disk(2).raw());
+    benchmark::DoNotOptimize(array.disk(2).reads());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 * 13 *
                           kStripes * static_cast<int64_t>(kElement));

@@ -1,10 +1,14 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,9 +18,44 @@
 #include "codes/registry.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "raid/file_disk.h"
+#include "raid/mem_disk.h"
 #include "util/table.h"
 
 namespace dcode::bench {
+
+// Explicit-backend device factory for runtime sections that measure both
+// device backends in one process (unlike raid::default_device_factory(),
+// which picks the backend from DCODE_DISK_BACKEND). File disks are
+// self-cleaning temp files under $TMPDIR.
+inline raid::DeviceFactory backend_device_factory(const std::string& backend) {
+  if (backend == "mem") {
+    return [](int id, size_t size) -> std::unique_ptr<raid::BlockDevice> {
+      return std::make_unique<raid::MemDisk>(id, size);
+    };
+  }
+  if (backend != "file") {
+    std::cerr << "unknown device backend: " << backend << "\n";
+    std::exit(2);
+  }
+  return [](int id, size_t size) -> std::unique_ptr<raid::BlockDevice> {
+    static std::atomic<uint64_t> serial{0};
+    const char* tmp = std::getenv("TMPDIR");
+    std::string path = std::string(tmp != nullptr ? tmp : "/tmp") +
+                       "/dcode-bench-" + std::to_string(::getpid()) + "-" +
+                       std::to_string(id) + "-" +
+                       std::to_string(serial.fetch_add(1)) + ".img";
+    raid::FileDisk::Options opts;
+    opts.unlink_on_close = true;
+    return std::make_unique<raid::FileDisk>(id, size, std::move(path), opts);
+  };
+}
+
+// The backends a runtime bench section sweeps.
+inline const std::vector<std::string>& runtime_backends() {
+  static const std::vector<std::string> backends = {"mem", "file"};
+  return backends;
+}
 
 // Machine-readable bench output, opted into with `--json <path>`.
 //

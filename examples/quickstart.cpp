@@ -71,9 +71,10 @@ int main() {
   // Everything above was also metered: the array counts operations,
   // bytes, element-granular per-disk accesses, and latency histograms
   // in obs::Registry::global() (pass a registry to the constructor to
-  // use a private one). publish_disk_metrics() snapshots the MemDisk
-  // counters into labeled gauges; write_json()/write_prometheus() are
-  // the machine-readable siblings of the text table.
+  // use a private one). publish_disk_metrics() snapshots the per-disk
+  // element counters and backend-labeled device op counts into labeled
+  // gauges; write_json()/write_prometheus() are the machine-readable
+  // siblings of the text table.
   array.publish_disk_metrics(array.metrics_registry());
   std::printf("\nruntime metrics:\n");
   array.metrics_registry().write_text(std::cout);

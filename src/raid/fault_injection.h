@@ -1,0 +1,134 @@
+// FaultInjectingDevice: a composable fault decorator for any BlockDevice.
+//
+// Replaces the ad-hoc fail()/corrupt() methods the old MemDisk carried.
+// One decorator wraps every array disk (whatever the backend) and
+// injects, independently:
+//
+//  * fail-stop       — fail() makes every I/O return IoStatus::kFailed
+//                      until the engine swaps in a blank device
+//                      (replace()); the flag is an atomic because pool
+//                      workers read it while the controller thread
+//                      writes it (the old MemDisk::failed_ data race).
+//  * transient errors — the next N ops return IoStatus::kTransient; the
+//                      engine retries against its per-op retry budget,
+//                      so a budget-sized burst heals and a longer one
+//                      escalates to DiskFailedError.
+//  * silent corruption — corrupt() flips stored bytes through the inner
+//                      device without any error surfacing (scrub's job).
+//  * latency         — a fixed per-op service delay, for pacing tests.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "raid/block_device.h"
+#include "util/rng.h"
+
+namespace dcode::raid {
+
+class FaultInjectingDevice : public BlockDevice {
+ public:
+  explicit FaultInjectingDevice(std::unique_ptr<BlockDevice> inner)
+      : BlockDevice(inner->id(), inner->size()), inner_(std::move(inner)) {}
+
+  std::string_view backend_name() const override {
+    return inner_->backend_name();
+  }
+  uint32_t capabilities() const override { return inner_->capabilities(); }
+
+  BlockDevice& inner() { return *inner_; }
+  const BlockDevice& inner() const { return *inner_; }
+
+  // --- fail-stop ----------------------------------------------------------
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  void fail() { failed_.store(true, std::memory_order_release); }
+  // Swap in a blank replacement device (a fresh backend from the array's
+  // factory) and clear the fail-stop state.
+  void replace(std::unique_ptr<BlockDevice> blank) {
+    DCODE_CHECK(blank->size() == size(), "replacement device size mismatch");
+    inner_ = std::move(blank);
+    transient_remaining_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_release);
+  }
+
+  // --- transient errors ---------------------------------------------------
+  // The next `count` I/Os (reads and writes alike) fail with kTransient.
+  void inject_transient_errors(int64_t count) {
+    DCODE_CHECK(count >= 0, "transient error count must be non-negative");
+    transient_remaining_.store(count, std::memory_order_relaxed);
+  }
+  int64_t pending_transient_errors() const {
+    return std::max<int64_t>(
+        0, transient_remaining_.load(std::memory_order_relaxed));
+  }
+
+  // --- latency ------------------------------------------------------------
+  void set_latency_ns(int64_t ns) {
+    DCODE_CHECK(ns >= 0, "latency must be non-negative");
+    latency_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  // --- silent corruption --------------------------------------------------
+  // Flips bytes in [offset, offset+len) through the inner device without
+  // reporting any error — the condition scrubbing exists to catch. Does
+  // not count as injected faults (the disk "succeeded").
+  void corrupt(uint64_t offset, size_t len, Pcg32& rng) {
+    DCODE_CHECK(offset + len <= size(), "corrupt past end of device");
+    std::vector<uint8_t> buf(len);
+    DCODE_CHECK(inner_->read(offset, buf).ok(), "corrupt: readback failed");
+    for (size_t i = 0; i < len; ++i) {
+      buf[i] ^= static_cast<uint8_t>(rng.next_u32() | 1);
+    }
+    DCODE_CHECK(inner_->write(offset, buf).ok(), "corrupt: writeback failed");
+  }
+
+ protected:
+  IoResult do_read(uint64_t offset, std::span<uint8_t> out) override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->read(offset, out);
+  }
+  IoResult do_write(uint64_t offset, std::span<const uint8_t> in) override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->write(offset, in);
+  }
+  IoResult do_readv(uint64_t offset, std::span<const IoVec> iov) override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->readv(offset, iov);
+  }
+  IoResult do_writev(uint64_t offset,
+                     std::span<const ConstIoVec> iov) override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->writev(offset, iov);
+  }
+  IoResult do_flush() override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->flush();
+  }
+  IoResult do_discard(uint64_t offset, size_t len) override {
+    if (IoResult r = intercept(); !r.ok()) return r;
+    return inner_->discard(offset, len);
+  }
+
+ private:
+  IoResult intercept() {
+    if (failed_.load(std::memory_order_acquire)) return IoResult::failed();
+    if (transient_remaining_.load(std::memory_order_relaxed) > 0 &&
+        transient_remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      return IoResult::transient();
+    }
+    if (int64_t ns = latency_ns_.load(std::memory_order_relaxed); ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+    return IoResult::success(0);
+  }
+
+  std::unique_ptr<BlockDevice> inner_;
+  std::atomic<bool> failed_{false};
+  std::atomic<int64_t> transient_remaining_{0};
+  std::atomic<int64_t> latency_ns_{0};
+};
+
+}  // namespace dcode::raid

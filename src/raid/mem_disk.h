@@ -1,111 +1,64 @@
-// MemDisk: an in-memory, fault-injectable disk.
+// MemDisk: the RAM-backed BlockDevice.
 //
-// Substitute for the paper's 16-disk SAS array (see DESIGN.md §4): byte
-// storage plus the two things the experiments need from a disk — failure
-// injection and per-disk access accounting. Reads/writes to a failed disk
-// throw DiskFailedError, which is how the array layer notices it must
-// reconstruct.
+// Substitute for the paper's 16-disk SAS array (see DESIGN.md §4): an
+// aligned byte buffer behind the BlockDevice contract. Pure storage —
+// failure injection, silent corruption, and latency all live in the
+// composable FaultInjectingDevice decorator (raid/fault_injection.h),
+// and access accounting lives in the BlockDevice base plus the
+// StripeIoEngine's element-granular counters.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
 #include <cstring>
-#include <span>
-#include <stdexcept>
-#include <string>
 
+#include "raid/block_device.h"
 #include "util/aligned_buffer.h"
-#include "util/rng.h"
 
 namespace dcode::raid {
 
-class DiskFailedError : public std::runtime_error {
+class MemDisk : public BlockDevice {
  public:
-  explicit DiskFailedError(int disk)
-      : std::runtime_error("disk " + std::to_string(disk) + " has failed"),
-        disk_(disk) {}
-  int disk() const { return disk_; }
+  MemDisk(int id, size_t size) : BlockDevice(id, size), storage_(size) {}
 
- private:
-  int disk_;
-};
+  std::string_view backend_name() const override { return "mem"; }
+  uint32_t capabilities() const override { return kDeviceDiscard; }
 
-class MemDisk {
- public:
-  MemDisk(int id, size_t size) : id_(id), storage_(size) {}
-
-  int id() const { return id_; }
-  size_t size() const { return storage_.size(); }
-  bool failed() const { return failed_; }
-
-  void read(size_t offset, std::span<uint8_t> out) const {
-    if (failed_) throw DiskFailedError(id_);
-    DCODE_CHECK(offset + out.size() <= storage_.size(),
-                "read past end of disk");
+ protected:
+  IoResult do_read(uint64_t offset, std::span<uint8_t> out) override {
     std::memcpy(out.data(), storage_.data() + offset, out.size());
-    reads_.fetch_add(1, std::memory_order_relaxed);
-    bytes_read_.fetch_add(static_cast<int64_t>(out.size()),
-                          std::memory_order_relaxed);
+    return IoResult::success(out.size());
   }
 
-  void write(size_t offset, std::span<const uint8_t> in) {
-    if (failed_) throw DiskFailedError(id_);
-    DCODE_CHECK(offset + in.size() <= storage_.size(),
-                "write past end of disk");
+  IoResult do_write(uint64_t offset, std::span<const uint8_t> in) override {
     std::memcpy(storage_.data() + offset, in.data(), in.size());
-    writes_.fetch_add(1, std::memory_order_relaxed);
-    bytes_written_.fetch_add(static_cast<int64_t>(in.size()),
-                             std::memory_order_relaxed);
+    return IoResult::success(in.size());
   }
 
-  // Failure injection. fail() keeps the bytes (a controller cannot see
-  // them anyway); replace() simulates swapping in a blank disk.
-  void fail() { failed_ = true; }
-  void replace() {
-    storage_.zero();
-    failed_ = false;
-  }
-
-  // Silent data corruption for scrub tests: flips bytes without the disk
-  // reporting any error.
-  void corrupt(size_t offset, size_t len, Pcg32& rng) {
-    DCODE_CHECK(offset + len <= storage_.size(), "corrupt past end of disk");
-    for (size_t i = 0; i < len; ++i) {
-      storage_[offset + i] ^= static_cast<uint8_t>(rng.next_u32() | 1);
+  IoResult do_readv(uint64_t offset, std::span<const IoVec> iov) override {
+    uint64_t at = offset;
+    for (const IoVec& v : iov) {
+      std::memcpy(v.data, storage_.data() + at, v.len);
+      at += v.len;
     }
+    return IoResult::success(static_cast<size_t>(at - offset));
   }
 
-  // Accounting. Counters are relaxed atomics (rebuild touches disks from
-  // the thread pool) and mutable so const reads still count, like a real
-  // bus trace.
-  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
-  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
-  int64_t bytes_read() const {
-    return bytes_read_.load(std::memory_order_relaxed);
-  }
-  int64_t bytes_written() const {
-    return bytes_written_.load(std::memory_order_relaxed);
-  }
-  void reset_stats() {
-    reads_.store(0, std::memory_order_relaxed);
-    writes_.store(0, std::memory_order_relaxed);
-    bytes_read_.store(0, std::memory_order_relaxed);
-    bytes_written_.store(0, std::memory_order_relaxed);
+  IoResult do_writev(uint64_t offset,
+                     std::span<const ConstIoVec> iov) override {
+    uint64_t at = offset;
+    for (const ConstIoVec& v : iov) {
+      std::memcpy(storage_.data() + at, v.data, v.len);
+      at += v.len;
+    }
+    return IoResult::success(static_cast<size_t>(at - offset));
   }
 
-  // Direct storage access for rebuild fast paths (counts as one access per
-  // caller-declared element; see Raid6Array::rebuild).
-  uint8_t* raw() { return storage_.data(); }
-  const uint8_t* raw() const { return storage_.data(); }
+  IoResult do_discard(uint64_t offset, size_t len) override {
+    std::memset(storage_.data() + offset, 0, len);
+    return IoResult::success(len);
+  }
 
  private:
-  int id_;
   AlignedBuffer storage_;
-  bool failed_ = false;
-  mutable std::atomic<int64_t> reads_{0};
-  mutable std::atomic<int64_t> writes_{0};
-  mutable std::atomic<int64_t> bytes_read_{0};
-  mutable std::atomic<int64_t> bytes_written_{0};
 };
 
 }  // namespace dcode::raid

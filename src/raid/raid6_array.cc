@@ -1,15 +1,16 @@
+// Raid6Array core: construction, healthy-path read/write, fault
+// injection and repair orchestration, scrub, and observability. The
+// write-hole machinery lives in array_journal.cc and the degraded-mode
+// paths in degraded_path.cc; batched element I/O is the StripeIoEngine's
+// job and rebuild execution lives in recovery.cc.
 #include "raid/raid6_array.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <map>
 #include <mutex>
-#include <set>
 
-#include "codes/decoder.h"
-#include "codes/dcode_decoder.h"
 #include "codes/encoder.h"
 #include "codes/stripe.h"
 #include "obs/trace.h"
@@ -22,6 +23,9 @@ using codes::CodeLayout;
 using codes::Element;
 using codes::Equation;
 using codes::Stripe;
+
+using ReadOp = StripeIoEngine::ReadOp;
+using WriteOp = StripeIoEngine::WriteOp;
 
 namespace {
 
@@ -45,11 +49,30 @@ class LatencyTimer {
   int64_t t0_;
 };
 
+size_t checked_disk_size(const CodeLayout& layout, size_t element_size,
+                         int64_t stripes) {
+  DCODE_CHECK(element_size > 0, "element size must be positive");
+  DCODE_CHECK(stripes > 0, "array needs at least one stripe");
+  return static_cast<size_t>(stripes) *
+         static_cast<size_t>(layout.rows()) * element_size;
+}
+
 }  // namespace
+
+void Raid6Array::overlay_range(int64_t g, int64_t offset, int64_t len,
+                               int64_t esize, size_t* elem_begin,
+                               size_t* src_begin, size_t* out_len) {
+  int64_t elem_start = g * esize;
+  int64_t lo = std::max<int64_t>(offset, elem_start);
+  int64_t hi = std::min<int64_t>(offset + len, elem_start + esize);
+  *elem_begin = static_cast<size_t>(lo - elem_start);
+  *src_begin = static_cast<size_t>(lo - offset);
+  *out_len = static_cast<size_t>(hi - lo);
+}
 
 Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
                        size_t element_size, int64_t stripes, unsigned threads,
-                       obs::Registry* registry)
+                       obs::Registry* registry, ArrayOptions options)
     : layout_(std::move(layout)),
       element_size_(element_size),
       stripes_(stripes),
@@ -57,108 +80,26 @@ Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
       planner_(map_),
       pool_(threads),
       metrics_(registry != nullptr ? *registry : obs::Registry::global(),
-               layout_->cols()) {
-  DCODE_CHECK(element_size_ > 0, "element size must be positive");
-  DCODE_CHECK(stripes_ > 0, "array needs at least one stripe");
-  size_t disk_size =
-      static_cast<size_t>(stripes_) * layout_->rows() * element_size_;
-  for (int d = 0; d < layout_->cols(); ++d) {
-    disks_.push_back(std::make_unique<MemDisk>(d, disk_size));
-  }
+               layout_->cols()),
+      engine_(layout_->cols(),
+              checked_disk_size(*layout_, element_size, stripes),
+              element_size, layout_->rows(), pool_, &metrics_, this,
+              StripeIoEngine::Options{
+                  std::move(options.device_factory),
+                  options.coalesce,
+                  options.parallel_user_io,
+                  options.transient_retry_limit,
+              }) {
   needs_rebuild_.assign(static_cast<size_t>(layout_->cols()), false);
-}
-
-void Raid6Array::ensure_online() const {
-  if (crashed_.load(std::memory_order_relaxed)) throw PowerLossError();
-}
-
-void Raid6Array::consume_write_budget() {
-  ensure_online();
-  if (crash_countdown_.load(std::memory_order_relaxed) >= 0) {
-    if (crash_countdown_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
-      crashed_.store(true, std::memory_order_relaxed);
-      throw PowerLossError();
-    }
-  }
-}
-
-void Raid6Array::write_element(int disk, int64_t stripe, int row,
-                               std::span<const uint8_t> data) {
-  consume_write_budget();
-  disks_[static_cast<size_t>(disk)]->write(element_offset(stripe, row), data);
-  metrics_.disk_element_writes[static_cast<size_t>(disk)]->inc();
-}
-
-void Raid6Array::read_element(int disk, int64_t stripe, int row,
-                              uint8_t* dst) {
-  disks_[static_cast<size_t>(disk)]->read(
-      element_offset(stripe, row), std::span<uint8_t>(dst, element_size_));
-  metrics_.disk_element_reads[static_cast<size_t>(disk)]->inc();
-}
-
-void Raid6Array::enable_journal(int slots) {
-  DCODE_CHECK(!journal_, "journal already enabled");
-  journal_.emplace(slots);
-}
-
-void Raid6Array::inject_power_loss_after(int64_t element_writes) {
-  DCODE_CHECK(element_writes >= 0, "write budget must be non-negative");
-  crash_countdown_.store(element_writes, std::memory_order_relaxed);
-}
-
-void Raid6Array::restart() {
-  crashed_.store(false, std::memory_order_relaxed);
-  crash_countdown_.store(-1, std::memory_order_relaxed);
-}
-
-std::vector<int64_t> Raid6Array::journal_open_stripes() const {
-  DCODE_CHECK(journal_.has_value(), "journal not enabled");
-  return journal_->open_stripes();
-}
-
-int64_t Raid6Array::journal_recover() {
-  ensure_online();
-  DCODE_CHECK(journal_.has_value(), "journal not enabled");
-  DCODE_CHECK(failed_disk_count() == 0,
-              "journal recovery requires a healthy array");
-  const CodeLayout& layout = *layout_;
-  const std::vector<int64_t> open = journal_->open_stripes();
-  obs::Span span(obs::TraceLog::global(), "journal.recover",
-                 {{"open_intents", static_cast<int64_t>(open.size())}});
-  metrics_.journal_recoveries->inc();
-  int64_t repaired = 0;
-  for (int64_t stripe : open) {
-    // Re-encode parity from whatever data survived the crash: every data
-    // element is individually consistent (element writes are atomic), so
-    // a fresh encode restores the stripe invariant.
-    Stripe s(layout, element_size_);
-    for (int c = 0; c < layout.cols(); ++c) {
-      for (int r = 0; r < layout.rows(); ++r) {
-        read_element(c, stripe, r, s.at(r, c));
-      }
-    }
-    codes::encode_stripe(s);
-    for (const Equation& q : layout.equations()) {
-      write_element(q.parity.col, stripe, q.parity.row,
-                    std::span<const uint8_t>(s.at(q.parity), element_size_));
-    }
-    journal_->commit(stripe);
-    span.note("journal.replayed_stripe", {{"stripe", stripe}});
-    ++repaired;
-  }
-  metrics_.journal_replayed_stripes->inc(repaired);
-  return repaired;
 }
 
 int Raid6Array::failed_disk_count() const {
   int n = 0;
-  for (const auto& d : disks_) n += d->failed() ? 1 : 0;
+  for (int d = 0; d < layout_->cols(); ++d) n += engine_.disk(d).failed();
   return n;
 }
 
-void Raid6Array::reset_stats() {
-  for (auto& d : disks_) d->reset_stats();
-}
+void Raid6Array::reset_stats() { engine_.reset_stats(); }
 
 void Raid6Array::add_hot_spares(int count) {
   DCODE_CHECK(count >= 0, "spare count must be non-negative");
@@ -167,14 +108,14 @@ void Raid6Array::add_hot_spares(int count) {
 
 void Raid6Array::fail_disk(int disk) {
   DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
-  if (!disks_[static_cast<size_t>(disk)]->failed()) {
+  if (!engine_.disk(disk).failed()) {
     metrics_.disk_failures[static_cast<size_t>(disk)]->inc();
     metrics_.disks_failed->add(1);
   }
-  disks_[static_cast<size_t>(disk)]->fail();
+  engine_.fail_disk(disk);
   if (hot_spares_ > 0) {
     --hot_spares_;
-    disks_[static_cast<size_t>(disk)]->replace();
+    engine_.replace_disk(disk);
     metrics_.disks_failed->sub(1);
     needs_rebuild_[static_cast<size_t>(disk)] = true;
     rebuild();
@@ -183,42 +124,95 @@ void Raid6Array::fail_disk(int disk) {
 
 void Raid6Array::replace_disk(int disk) {
   DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
-  DCODE_CHECK(disks_[static_cast<size_t>(disk)]->failed(),
+  DCODE_CHECK(engine_.disk(disk).failed(),
               "only failed disks can be replaced");
-  disks_[static_cast<size_t>(disk)]->replace();
+  engine_.replace_disk(disk);
   metrics_.disks_failed->sub(1);
   needs_rebuild_[static_cast<size_t>(disk)] = true;
 }
 
-void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
+void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
+                                  int64_t stripe_end, int64_t offset,
+                                  std::span<const uint8_t> data) {
   const CodeLayout& layout = *layout_;
-  std::vector<Element> lost;
-  for (int c = 0; c < layout.cols(); ++c) {
-    bool dead = disks_[static_cast<size_t>(c)]->failed() ||
-                needs_rebuild_[static_cast<size_t>(c)];
-    for (int r = 0; r < layout.rows(); ++r) {
-      if (dead) {
-        lost.push_back(codes::make_element(r, c));
-      } else {
-        read_element(c, stripe, r, out.at(r, c));
+  const int64_t esize = static_cast<int64_t>(element_size_);
+  const size_t n = static_cast<size_t>(stripe_end - g + 1);
+
+  // Phase 1: batch-read the old contents of every touched data element.
+  std::vector<AddressMap::Location> locs;
+  std::vector<AlignedBuffer> old_data;
+  std::vector<ReadOp> rops;
+  locs.reserve(n);
+  old_data.reserve(n);
+  rops.reserve(n);
+  for (int64_t e = g; e <= stripe_end; ++e) {
+    locs.push_back(map_.locate(e));
+    old_data.emplace_back(element_size_);
+    rops.push_back({locs.back().disk, stripe, locs.back().element.row,
+                    old_data.back().data()});
+  }
+  engine_.read_batch(rops);
+
+  // Phase 2: overlay the user bytes, compute per-element deltas, and
+  // batch-write the fresh data (in element order — the same budget
+  // consumption order the monolith's per-element loop produced).
+  std::vector<Element> written;
+  std::map<Element, AlignedBuffer> delta;  // old ^ new per element
+  std::vector<AlignedBuffer> fresh;
+  std::vector<WriteOp> wops;
+  written.reserve(n);
+  fresh.reserve(n);
+  wops.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t e = g + static_cast<int64_t>(i);
+    size_t eb, sb, len;
+    overlay_range(e, offset, static_cast<int64_t>(data.size()), esize, &eb,
+                  &sb, &len);
+    fresh.emplace_back(element_size_);
+    std::memcpy(fresh.back().data(), old_data[i].data(), element_size_);
+    std::memcpy(fresh.back().data() + eb, data.data() + sb, len);
+
+    AlignedBuffer dbuf(element_size_);
+    xorops::xor_assign(dbuf.data(), old_data[i].data(), fresh.back().data(),
+                       element_size_);
+    wops.push_back(
+        {locs[i].disk, stripe, locs[i].element.row, fresh.back().data()});
+    written.push_back(locs[i].element);
+    delta.emplace(locs[i].element, std::move(dbuf));
+  }
+  engine_.write_batch(wops);
+
+  // Phase 3: batch-read the old parities of the dirty closure, fold the
+  // deltas through in topo order, batch-write them back (topo order).
+  const std::vector<int> closure = dirty_parity_closure(layout, written);
+  std::vector<int> pdisks;
+  std::vector<AlignedBuffer> parity;
+  rops.clear();
+  pdisks.reserve(closure.size());
+  parity.reserve(closure.size());
+  for (int qi : closure) {
+    const Equation& q = layout.equations()[static_cast<size_t>(qi)];
+    pdisks.push_back(map_.physical_disk(stripe, q.parity.col));
+    parity.emplace_back(element_size_);
+    rops.push_back(
+        {pdisks.back(), stripe, q.parity.row, parity.back().data()});
+  }
+  engine_.read_batch(rops);
+  wops.clear();
+  for (size_t i = 0; i < closure.size(); ++i) {
+    const Equation& q = layout.equations()[static_cast<size_t>(closure[i])];
+    AlignedBuffer pdelta(element_size_);
+    for (const Element& src : q.sources) {
+      auto it = delta.find(src);
+      if (it != delta.end()) {
+        xorops::xor_into(pdelta.data(), it->second.data(), element_size_);
       }
     }
+    xorops::xor_into(parity[i].data(), pdelta.data(), element_size_);
+    wops.push_back({pdisks[i], stripe, q.parity.row, parity[i].data()});
+    delta.emplace(q.parity, std::move(pdelta));
   }
-  if (!lost.empty()) {
-    auto res = codes::hybrid_decode(out, lost);
-    DCODE_CHECK(res.success, "stripe unrecoverable (more than two failures)");
-    metrics_.elements_reconstructed->inc(static_cast<int64_t>(lost.size()));
-  }
-}
-
-void Raid6Array::store_stripe(int64_t stripe, const Stripe& in) {
-  for (int c = 0; c < layout_->cols(); ++c) {
-    if (disks_[static_cast<size_t>(c)]->failed()) continue;
-    for (int r = 0; r < layout_->rows(); ++r) {
-      write_element(c, stripe, r,
-                    std::span<const uint8_t>(in.at(r, c), element_size_));
-    }
-  }
+  engine_.write_batch(wops);
 }
 
 void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
@@ -232,26 +226,12 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
   const int64_t first = offset / esize;
   const int64_t last = (offset + static_cast<int64_t>(data.size()) - 1) / esize;
 
-  const bool degraded = failed_disk_count() > 0 ||
-                        std::any_of(needs_rebuild_.begin(),
-                                    needs_rebuild_.end(),
-                                    [](bool b) { return b; });
+  bool degraded = false;
+  for (int d = 0; d < layout.cols(); ++d) degraded |= disk_degraded(d);
   LatencyTimer timer(metrics_.write_latency_ns);
   (degraded ? metrics_.degraded_writes : metrics_.writes)->inc();
   metrics_.bytes_written->inc(static_cast<int64_t>(data.size()));
   metrics_.write_bytes->observe(static_cast<int64_t>(data.size()));
-
-  // Per-element overlay: [start, end) bytes of element g come from `data`.
-  auto overlay_range = [&](int64_t g, size_t* elem_begin, size_t* src_begin,
-                           size_t* len) {
-    int64_t elem_start = g * esize;
-    int64_t lo = std::max<int64_t>(offset, elem_start);
-    int64_t hi = std::min<int64_t>(offset + static_cast<int64_t>(data.size()),
-                                   elem_start + esize);
-    *elem_begin = static_cast<size_t>(lo - elem_start);
-    *src_begin = static_cast<size_t>(lo - offset);
-    *len = static_cast<size_t>(hi - lo);
-  };
 
   // Group the touched elements by stripe.
   int64_t g = first;
@@ -264,98 +244,51 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
     // write of this stripe (itself consumes write budget, so an injected
     // crash can land on either side of it — both sides are safe).
     if (journal_) {
-      consume_write_budget();
+      admit();
       if (journal_->begin(stripe)) metrics_.journal_intents_opened->inc();
     }
 
     if (degraded) {
-      // Stripe-rewrite policy: reconstruct, modify, re-encode, then write
-      // back only the touched surviving data elements plus every
-      // surviving parity (untouched data is already on disk).
-      Stripe s(layout, element_size_);
-      load_stripe_degraded(stripe, s);
-      std::set<Element> touched;
-      for (int64_t e = g; e <= stripe_end; ++e) {
-        auto loc = map_.locate(e);
-        size_t eb, sb, len;
-        overlay_range(e, &eb, &sb, &len);
-        std::memcpy(s.at(loc.element) + eb, data.data() + sb, len);
-        touched.insert(loc.element);
-      }
-      codes::encode_stripe(s);
-      for (int r = 0; r < layout.rows(); ++r) {
-        for (int c = 0; c < layout.cols(); ++c) {
-          int pdisk = map_.physical_disk(stripe, c);
-          if (disks_[static_cast<size_t>(pdisk)]->failed() ||
-              needs_rebuild_[static_cast<size_t>(pdisk)]) {
-            continue;
-          }
-          Element e = codes::make_element(r, c);
-          if (layout.is_parity(r, c) || touched.count(e)) {
-            write_element(pdisk, stripe, r,
-                          std::span<const uint8_t>(s.at(r, c),
-                                                   element_size_));
-          }
-        }
-      }
-      if (journal_) {
-        consume_write_budget();
-        journal_->commit(stripe);
-        metrics_.journal_commits->inc();
-      }
-      g = stripe_end + 1;
-      continue;
-    }
-
-    // Healthy path: delta-based read-modify-write.
-    std::vector<Element> written;
-    std::map<Element, AlignedBuffer> delta;  // old ^ new per element
-    for (int64_t e = g; e <= stripe_end; ++e) {
-      auto loc = map_.locate(e);
-      size_t eb, sb, len;
-      overlay_range(e, &eb, &sb, &len);
-
-      AlignedBuffer old(element_size_);
-      read_element(loc.disk, stripe, loc.element.row, old.data());
-
-      AlignedBuffer fresh(element_size_);
-      std::memcpy(fresh.data(), old.data(), element_size_);
-      std::memcpy(fresh.data() + eb, data.data() + sb, len);
-
-      AlignedBuffer dbuf(element_size_);
-      xorops::xor_assign(dbuf.data(), old.data(), fresh.data(),
-                         element_size_);
-      write_element(loc.disk, stripe, loc.element.row,
-                    std::span<const uint8_t>(fresh.data(), element_size_));
-      written.push_back(loc.element);
-      delta.emplace(loc.element, std::move(dbuf));
-    }
-
-    // Propagate deltas through the dirty parity closure in topo order.
-    for (int qi : dirty_parity_closure(layout, written)) {
-      const Equation& q = layout.equations()[static_cast<size_t>(qi)];
-      AlignedBuffer pdelta(element_size_);
-      for (const Element& src : q.sources) {
-        auto it = delta.find(src);
-        if (it != delta.end()) {
-          xorops::xor_into(pdelta.data(), it->second.data(), element_size_);
-        }
-      }
-      int pdisk = map_.physical_disk(stripe, q.parity.col);
-      AlignedBuffer parity(element_size_);
-      read_element(pdisk, stripe, q.parity.row, parity.data());
-      xorops::xor_into(parity.data(), pdelta.data(), element_size_);
-      write_element(pdisk, stripe, q.parity.row,
-                    std::span<const uint8_t>(parity.data(), element_size_));
-      delta.emplace(q.parity, std::move(pdelta));
+      write_stripe_degraded(stripe, g, stripe_end, offset, data);
+    } else {
+      write_stripe_rmw(stripe, g, stripe_end, offset, data);
     }
 
     if (journal_) {
-      consume_write_budget();
+      admit();
       journal_->commit(stripe);
       metrics_.journal_commits->inc();
     }
     g = stripe_end + 1;
+  }
+}
+
+void Raid6Array::read_healthy(int64_t first, int64_t last, int64_t offset,
+                              std::span<uint8_t> out) {
+  const int64_t esize = static_cast<int64_t>(element_size_);
+  const int64_t end = offset + static_cast<int64_t>(out.size());
+  // Fully covered elements land straight in the caller's buffer; the (at
+  // most two) partially covered edge elements bounce through scratch.
+  AlignedBuffer head(element_size_), tail(element_size_);
+  std::vector<ReadOp> rops;
+  rops.reserve(static_cast<size_t>(last - first + 1));
+  for (int64_t e = first; e <= last; ++e) {
+    auto loc = map_.locate(e);
+    const bool full = e * esize >= offset && (e + 1) * esize <= end;
+    uint8_t* dst = full ? out.data() + (e * esize - offset)
+                        : (e == first ? head.data() : tail.data());
+    rops.push_back({loc.disk, loc.stripe, loc.element.row, dst});
+  }
+  engine_.read_batch(rops);
+  auto copy_out = [&](int64_t e, const uint8_t* elem) {
+    size_t eb, sb, len;
+    overlay_range(e, offset, static_cast<int64_t>(out.size()), esize, &eb,
+                  &sb, &len);
+    std::memcpy(out.data() + sb, elem + eb, len);
+  };
+  if (first * esize < offset) copy_out(first, head.data());
+  if ((last + 1) * esize > end) {
+    copy_out(last, last == first ? head.data() : tail.data());
   }
 }
 
@@ -365,105 +298,23 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
                                  capacity(),
               "read outside the array's data space");
   if (out.empty()) return;
-  const CodeLayout& layout = *layout_;
   const int64_t esize = static_cast<int64_t>(element_size_);
   const int64_t first = offset / esize;
   const int64_t last = (offset + static_cast<int64_t>(out.size()) - 1) / esize;
 
   std::vector<int> failed;
-  for (int d = 0; d < layout.cols(); ++d) {
-    if (disks_[static_cast<size_t>(d)]->failed() ||
-        needs_rebuild_[static_cast<size_t>(d)]) {
-      failed.push_back(d);
-    }
+  for (int d = 0; d < layout_->cols(); ++d) {
+    if (disk_degraded(d)) failed.push_back(d);
   }
   LatencyTimer timer(metrics_.read_latency_ns);
   (failed.empty() ? metrics_.reads : metrics_.degraded_reads)->inc();
   metrics_.bytes_read->inc(static_cast<int64_t>(out.size()));
   metrics_.read_bytes->observe(static_cast<int64_t>(out.size()));
 
-  auto copy_out = [&](int64_t g, const uint8_t* elem) {
-    int64_t elem_start = g * esize;
-    int64_t lo = std::max<int64_t>(offset, elem_start);
-    int64_t hi = std::min<int64_t>(offset + static_cast<int64_t>(out.size()),
-                                   elem_start + esize);
-    std::memcpy(out.data() + (lo - offset), elem + (lo - elem_start),
-                static_cast<size_t>(hi - lo));
-  };
-
   if (failed.empty()) {
-    AlignedBuffer buf(element_size_);
-    for (int64_t e = first; e <= last; ++e) {
-      auto loc = map_.locate(e);
-      read_element(loc.disk, loc.stripe, loc.element.row, buf.data());
-      copy_out(e, buf.data());
-    }
-    return;
-  }
-
-  // Degraded read: follow the planner's per-element equation choices.
-  IoPlan plan = planner_.plan_degraded_read(first,
-                                            static_cast<int>(last - first + 1),
-                                            failed);
-  obs::Span span(
-      obs::TraceLog::global(), "degraded_read",
-      {{"offset", offset}, {"bytes", static_cast<int64_t>(out.size())},
-       {"failed_disks", static_cast<int64_t>(failed.size())},
-       {"plan_reads", plan.reads()},
-       {"reconstructions", static_cast<int64_t>(plan.reconstructions.size())}});
-  // Scratch cache of element buffers per (stripe, element).
-  struct Key {
-    int64_t stripe;
-    Element e;
-    bool operator<(const Key& o) const {
-      return stripe != o.stripe ? stripe < o.stripe : e < o.e;
-    }
-  };
-  std::map<Key, AlignedBuffer> cache;
-
-  for (const IoAccess& a : plan.accesses) {
-    DCODE_ASSERT(!a.is_write, "degraded read plan must not write");
-    AlignedBuffer buf(element_size_);
-    read_element(a.disk, a.stripe, a.element.row, buf.data());
-    cache.emplace(Key{a.stripe, a.element}, std::move(buf));
-  }
-
-  for (const Reconstruction& rec : plan.reconstructions) {
-    AlignedBuffer buf(element_size_);
-    if (rec.equation >= 0) {
-      const Equation& q = layout.equations()[static_cast<size_t>(rec.equation)];
-      auto fold = [&](const Element& m) {
-        if (m == rec.target) return;
-        auto it = cache.find(Key{rec.stripe, m});
-        DCODE_CHECK(it != cache.end(),
-                    "planner promised this member was read");
-        xorops::xor_into(buf.data(), it->second.data(), element_size_);
-      };
-      fold(q.parity);
-      for (const Element& m : q.sources) fold(m);
-    } else {
-      // Full-stripe chained decode fallback (two failed disks crossing
-      // every equation of the target).
-      span.note("full_stripe_decode", {{"stripe", rec.stripe}});
-      Stripe s(layout, element_size_);
-      load_stripe_degraded(rec.stripe, s);
-      std::memcpy(buf.data(), s.at(rec.target), element_size_);
-    }
-    cache.emplace(Key{rec.stripe, rec.target}, std::move(buf));
-  }
-  // Equation-based reconstructions (the fallback already counted its own
-  // rebuilt elements inside load_stripe_degraded).
-  int64_t eq_recs = 0;
-  for (const Reconstruction& rec : plan.reconstructions) {
-    if (rec.equation >= 0) ++eq_recs;
-  }
-  metrics_.elements_reconstructed->inc(eq_recs);
-
-  for (int64_t e = first; e <= last; ++e) {
-    auto loc = map_.locate(e);
-    auto it = cache.find(Key{loc.stripe, loc.element});
-    DCODE_CHECK(it != cache.end(), "requested element missing from plan");
-    copy_out(e, it->second.data());
+    read_healthy(first, last, offset, out);
+  } else {
+    read_degraded(first, last, offset, out, failed);
   }
 }
 
@@ -473,8 +324,7 @@ void Raid6Array::rebuild() {
   std::vector<int> targets;
   for (int d = 0; d < layout.cols(); ++d) {
     if (needs_rebuild_[static_cast<size_t>(d)]) {
-      DCODE_CHECK(!disks_[static_cast<size_t>(d)]->failed(),
-                  "replace_disk before rebuild");
+      DCODE_CHECK(!engine_.disk(d).failed(), "replace_disk before rebuild");
       targets.push_back(d);
     }
   }
@@ -490,81 +340,18 @@ void Raid6Array::rebuild() {
                   {"code", layout.name()}});
 
   if (targets.size() == 1) {
-    const int f = targets[0];
     RecoveryPlan plan = plan_single_disk_recovery(
-        layout, f, RecoveryStrategy::kMinimalReads);
+        layout, targets[0], RecoveryStrategy::kMinimalReads);
     span.note("rebuild.plan",
-              {{"mode", "minimal_reads"}, {"disk", f},
+              {{"mode", "minimal_reads"}, {"disk", targets[0]},
                {"reads_per_stripe", static_cast<int64_t>(plan.reads.size())}});
-    pool_.parallel_for_chunked(
-        static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
-          std::map<Element, AlignedBuffer> cache;
-          for (size_t s = begin; s < end; ++s) {
-            cache.clear();
-            for (const Element& e : plan.reads) {
-              AlignedBuffer buf(element_size_);
-              read_element(e.col, static_cast<int64_t>(s), e.row, buf.data());
-              cache.emplace(e, std::move(buf));
-            }
-            for (const Reconstruction& rec : plan.reconstructions) {
-              AlignedBuffer buf(element_size_);
-              const Equation& q =
-                  layout.equations()[static_cast<size_t>(rec.equation)];
-              auto fold = [&](const Element& m) {
-                if (m == rec.target) return;
-                auto it = cache.find(m);
-                DCODE_ASSERT(it != cache.end(),
-                             "recovery plan read set incomplete");
-                xorops::xor_into(buf.data(), it->second.data(),
-                                 element_size_);
-              };
-              fold(q.parity);
-              for (const Element& m : q.sources) fold(m);
-              write_element(f, static_cast<int64_t>(s), rec.target.row,
-                            std::span<const uint8_t>(buf.data(),
-                                                     element_size_));
-            }
-          }
-        });
+    execute_single_disk_rebuild(layout, plan, engine_, targets[0], stripes_);
   } else {
-    // Two (or, for higher-tolerance codes like STAR, three) failed disks:
-    // whole-stripe decode, D-Code's chain decoder on its fast path.
-    std::vector<int> fs = targets;
-    std::sort(fs.begin(), fs.end());
-    const bool use_chain = layout.name() == "dcode" && fs.size() == 2;
+    std::sort(targets.begin(), targets.end());
+    const bool chain = layout.name() == "dcode" && targets.size() == 2;
     span.note("rebuild.plan",
-              {{"mode", use_chain ? "dcode_chain" : "hybrid_decode"}});
-    pool_.parallel_for_chunked(
-        static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
-          Stripe s(layout, element_size_);
-          auto is_target = [&](int c) {
-            return std::find(fs.begin(), fs.end(), c) != fs.end();
-          };
-          for (size_t st = begin; st < end; ++st) {
-            // Read survivors.
-            for (int c = 0; c < layout.cols(); ++c) {
-              if (is_target(c)) continue;
-              for (int r = 0; r < layout.rows(); ++r) {
-                read_element(c, static_cast<int64_t>(st), r, s.at(r, c));
-              }
-            }
-            if (use_chain) {
-              auto res = codes::dcode_decode_two_disks(s, fs[0], fs[1]);
-              DCODE_CHECK(res.success, "D-Code chain decode failed");
-            } else {
-              auto lost = codes::elements_of_disks(layout, fs);
-              auto res = codes::hybrid_decode(s, lost);
-              DCODE_CHECK(res.success, "stripe unrecoverable");
-            }
-            for (int c : fs) {
-              for (int r = 0; r < layout.rows(); ++r) {
-                write_element(c, static_cast<int64_t>(st), r,
-                              std::span<const uint8_t>(s.at(r, c),
-                                                       element_size_));
-              }
-            }
-          }
-        });
+              {{"mode", chain ? "dcode_chain" : "hybrid_decode"}});
+    execute_multi_disk_rebuild(layout, engine_, targets, stripes_);
   }
 
   for (int d : targets) needs_rebuild_[static_cast<size_t>(d)] = false;
@@ -589,12 +376,15 @@ ScrubReport Raid6Array::scrub_report() {
   pool_.parallel_for_chunked(
       static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
         Stripe s(layout, element_size_);
+        std::vector<ReadOp> rops;
         for (size_t st = begin; st < end; ++st) {
+          rops.clear();
           for (int c = 0; c < layout.cols(); ++c) {
             for (int r = 0; r < layout.rows(); ++r) {
-              read_element(c, static_cast<int64_t>(st), r, s.at(r, c));
+              rops.push_back({c, static_cast<int64_t>(st), r, s.at(r, c)});
             }
           }
+          engine_.read_batch(rops);
           Stripe re = s.clone();
           codes::encode_stripe(re);
           if (!re.equals(s)) {
@@ -617,20 +407,25 @@ ScrubReport Raid6Array::scrub_report() {
 }
 
 std::vector<int64_t> Raid6Array::per_disk_element_accesses() const {
-  std::vector<int64_t> out;
-  out.reserve(disks_.size());
-  for (const auto& d : disks_) out.push_back(d->reads() + d->writes());
-  return out;
+  return engine_.per_disk_element_accesses();
 }
 
 void Raid6Array::publish_disk_metrics(obs::Registry& registry) const {
-  for (const auto& d : disks_) {
-    obs::Labels l = {{"disk", std::to_string(d->id())}};
-    registry.gauge("raid.disk.reads", l).set(d->reads());
-    registry.gauge("raid.disk.writes", l).set(d->writes());
-    registry.gauge("raid.disk.bytes_read", l).set(d->bytes_read());
-    registry.gauge("raid.disk.bytes_written", l).set(d->bytes_written());
-    registry.gauge("raid.disk.failed", l).set(d->failed() ? 1 : 0);
+  for (int d = 0; d < layout_->cols(); ++d) {
+    const DiskHandle& h = engine_.disk(d);
+    obs::Labels l = {{"disk", std::to_string(h.id())}};
+    registry.gauge("raid.disk.reads", l).set(h.reads());
+    registry.gauge("raid.disk.writes", l).set(h.writes());
+    registry.gauge("raid.disk.bytes_read", l).set(h.bytes_read());
+    registry.gauge("raid.disk.bytes_written", l).set(h.bytes_written());
+    registry.gauge("raid.disk.failed", l).set(h.failed() ? 1 : 0);
+    // Device-level op counts, labeled by backend: one count per ranged
+    // transfer, so reads()/device_read_ops() is the coalescing ratio.
+    obs::Labels lb = {{"backend", std::string(h.backend_name())},
+                      {"disk", std::to_string(h.id())}};
+    registry.gauge("raid.disk.device_read_ops", lb).set(h.device_read_ops());
+    registry.gauge("raid.disk.device_write_ops", lb)
+        .set(h.device_write_ops());
   }
 }
 

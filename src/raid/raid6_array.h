@@ -1,10 +1,20 @@
-// Raid6Array: a byte-level RAID-6 array over in-memory disks.
+// Raid6Array: the RAID-6 policy layer.
 //
 // This is deliverable (a)'s top-level object and the substrate the
-// examples and the read-speed experiments run on. It owns one MemDisk per
-// layout column and `stripes` consecutive stripes; the logical address
-// space is the concatenated row-major data stream (element granularity
-// inside; byte-granularity at the public API).
+// examples and the read-speed experiments run on. Since the monolith
+// split, the array is pure policy over two lower layers:
+//
+//   Raid6Array            — RMW/RCW choice, degraded paths, journal,
+//                           spares, rebuild orchestration (this class)
+//   StripeIoEngine        — batched element I/O: coalescing into ranged
+//                           vectored transfers, per-disk parallelism,
+//                           transient-error retries, element accounting
+//   BlockDevice           — MemDisk (RAM), FileDisk (real files), or any
+//                           other backend, each behind a composable
+//                           FaultInjectingDevice decorator
+//
+// The logical address space is the concatenated row-major data stream
+// (element granularity inside; byte granularity at the public API).
 //
 // Behaviour:
 //  * write — healthy mode uses the planner's RMW/RCW choice, applying
@@ -26,11 +36,10 @@
 //    with open intents (see raid/journal.h).
 #pragma once
 
-#include <memory>
-#include <vector>
-
 #include <atomic>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "codes/code_layout.h"
 #include "codes/stripe.h"
@@ -38,8 +47,8 @@
 #include "raid/address_map.h"
 #include "raid/array_metrics.h"
 #include "raid/journal.h"
-#include "raid/mem_disk.h"
 #include "raid/planner.h"
+#include "raid/stripe_io_engine.h"
 #include "util/thread_pool.h"
 
 namespace dcode::raid {
@@ -52,14 +61,25 @@ struct ScrubReport {
   std::vector<int64_t> inconsistent_stripes;  // ascending
 };
 
-class Raid6Array {
+// Array-level configuration: which device backend to run on and how the
+// StripeIoEngine executes user I/O. The defaults reproduce the fast path
+// (coalesced + parallel over the process-default backend); benches flip
+// the flags off to measure what each layer buys.
+struct ArrayOptions {
+  DeviceFactory device_factory;   // null => default_device_factory()
+  bool coalesce = true;           // merge adjacent same-disk accesses
+  bool parallel_user_io = true;   // fan per-disk runs across the pool
+  int transient_retry_limit = 3;  // engine retries per transfer
+};
+
+class Raid6Array : private WriteGate {
  public:
   // `registry` receives the array's metrics (counters, histograms,
   // per-disk element access counters); nullptr means the process-global
   // obs::Registry. Metrics are additive across arrays sharing a registry.
   Raid6Array(std::unique_ptr<codes::CodeLayout> layout, size_t element_size,
              int64_t stripes, unsigned threads = 0,
-             obs::Registry* registry = nullptr);
+             obs::Registry* registry = nullptr, ArrayOptions options = {});
 
   const codes::CodeLayout& layout() const { return *layout_; }
   size_t element_size() const { return element_size_; }
@@ -73,6 +93,10 @@ class Raid6Array {
   // Byte-addressed user I/O over the logical data space.
   void write(int64_t offset, std::span<const uint8_t> data);
   void read(int64_t offset, std::span<uint8_t> out);
+
+  // Makes every acknowledged write durable on every live device (fsync
+  // for file-backed disks). Returns the number of devices flushed.
+  int flush() { return engine_.flush(); }
 
   // Fault injection and repair.
   void fail_disk(int disk);
@@ -95,8 +119,11 @@ class Raid6Array {
   ScrubReport scrub_report();
 
   int failed_disk_count() const;
-  const MemDisk& disk(int d) const { return *disks_[static_cast<size_t>(d)]; }
-  MemDisk& disk(int d) { return *disks_[static_cast<size_t>(d)]; }
+  const DiskHandle& disk(int d) const { return engine_.disk(d); }
+  DiskHandle& disk(int d) { return engine_.disk(d); }
+  // The batched I/O layer under this array (device op counts, options).
+  StripeIoEngine& io_engine() { return engine_; }
+  const StripeIoEngine& io_engine() const { return engine_; }
   void reset_stats();
 
   // --- Observability ------------------------------------------------------
@@ -104,13 +131,16 @@ class Raid6Array {
   obs::Registry& metrics_registry() const { return *metrics_.reg; }
   // Cumulative element accesses (reads + writes) per physical disk since
   // construction / the last reset_stats() — the runtime equivalent of the
-  // simulator's sim::IoStats per-disk tallies; every MemDisk access in
-  // this array is element-granular, so the two units coincide.
+  // simulator's sim::IoStats per-disk tallies; the engine accounts one
+  // count per element no matter how transfers were coalesced, so the two
+  // units coincide.
   std::vector<int64_t> per_disk_element_accesses() const;
-  // Copies each disk's cumulative MemDisk counters and fault state into
+  // Copies each disk's cumulative element counters and fault state into
   // labeled gauges (raid.disk.reads{disk=N}, .writes, .bytes_read,
-  // .bytes_written, .failed) of `registry` — an explicit pull for
-  // exposition; call right before scraping/printing.
+  // .bytes_written, .failed), plus backend-labeled device-level op gauges
+  // (raid.disk.device_read_ops{backend=...,disk=N}, .device_write_ops —
+  // one count per ranged transfer, the coalescing ratio's denominator) —
+  // an explicit pull for exposition; call right before scraping/printing.
   void publish_disk_metrics(obs::Registry& registry) const;
 
   // --- Write-hole protection ---------------------------------------------
@@ -120,7 +150,7 @@ class Raid6Array {
   // After `element_writes` more element-granular disk writes, every
   // further write throws PowerLossError (data already written persists).
   void inject_power_loss_after(int64_t element_writes);
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_relaxed); }
   // Clears the crashed state (reboot). Disk contents and the journal's
   // intent records survive; call journal_recover() next.
   void restart();
@@ -131,38 +161,48 @@ class Raid6Array {
   std::vector<int64_t> journal_open_stripes() const;
 
  private:
-  // All mutating element I/O funnels through here so crash injection sees
-  // every write in order.
-  void write_element(int disk, int64_t stripe, int row,
-                     std::span<const uint8_t> data);
-  // All element reads funnel through here so the per-disk access
-  // counters see every read (mirrors write_element).
-  void read_element(int disk, int64_t stripe, int row, uint8_t* dst);
-  // Consumes one unit of the injected write budget (journal records and
-  // element writes both count); throws PowerLossError at zero.
-  void consume_write_budget();
+  // WriteGate: the engine admits every element write through here, so
+  // injected power loss sees the same write stream the monolith produced.
+  // (Defined with the rest of the crash machinery in array_journal.cc.)
+  bool armed() const override;
+  void admit() override;
+
+  // The byte range of element `g` covered by a user op at [offset,
+  // offset+len): *elem_begin within the element, *src_begin within the
+  // user buffer.
+  static void overlay_range(int64_t g, int64_t offset, int64_t len,
+                            int64_t esize, size_t* elem_begin,
+                            size_t* src_begin, size_t* out_len);
+
   void ensure_online() const;
-  size_t element_offset(int64_t stripe, int row) const {
-    return (static_cast<size_t>(stripe) * layout_->rows() +
-            static_cast<size_t>(row)) *
-           element_size_;
+  bool disk_degraded(int d) const {
+    return engine_.disk(d).failed() || needs_rebuild_[static_cast<size_t>(d)];
   }
   // Degraded helper: reconstruct one whole stripe into `out` (all columns).
   void load_stripe_degraded(int64_t stripe, codes::Stripe& out);
-  void store_stripe(int64_t stripe, const codes::Stripe& in);
+  // Healthy-path RMW for the elements [g, stripe_end] of one stripe.
+  void write_stripe_rmw(int64_t stripe, int64_t g, int64_t stripe_end,
+                        int64_t offset, std::span<const uint8_t> data);
+  // Degraded-path stripe rewrite for the same element range.
+  void write_stripe_degraded(int64_t stripe, int64_t g, int64_t stripe_end,
+                             int64_t offset, std::span<const uint8_t> data);
+  void read_healthy(int64_t first, int64_t last, int64_t offset,
+                    std::span<uint8_t> out);
+  void read_degraded(int64_t first, int64_t last, int64_t offset,
+                     std::span<uint8_t> out, const std::vector<int>& failed);
 
   std::unique_ptr<codes::CodeLayout> layout_;
   size_t element_size_;
   int64_t stripes_;
   AddressMap map_;
   IoPlanner planner_;
-  std::vector<std::unique_ptr<MemDisk>> disks_;
   ThreadPool pool_;
+  ArrayMetrics metrics_;
+  StripeIoEngine engine_;
   // Disks replaced but not yet rebuilt (their contents are blank).
   std::vector<bool> needs_rebuild_;
 
   int hot_spares_ = 0;
-  ArrayMetrics metrics_;
   std::optional<WriteIntentJournal> journal_;
   // Atomics: rebuild writes flow through the thread pool.
   std::atomic<int64_t> crash_countdown_{-1};  // -1 = no injection armed

@@ -40,4 +40,25 @@ RecoveryPlan plan_single_disk_recovery(const codes::CodeLayout& layout,
                                        int failed_disk,
                                        RecoveryStrategy strategy);
 
+class StripeIoEngine;
+
+// Rebuild executors (moved here from the Raid6Array monolith): fan the
+// stripes across the engine's thread pool and run each stripe's reads and
+// reconstruction writes as coalesced batches.
+//
+// Applies `plan` to every stripe, writing the reconstructed elements onto
+// `failed_disk` (already replaced with a blank device).
+void execute_single_disk_rebuild(const codes::CodeLayout& layout,
+                                 const RecoveryPlan& plan,
+                                 StripeIoEngine& engine, int failed_disk,
+                                 int64_t stripes);
+
+// Whole-stripe decode for two (or, for higher-tolerance codes like STAR,
+// three) replaced disks: D-Code's chain decoder on its fast path, the
+// generic hybrid decoder otherwise. `targets` must be sorted.
+void execute_multi_disk_rebuild(const codes::CodeLayout& layout,
+                                StripeIoEngine& engine,
+                                const std::vector<int>& targets,
+                                int64_t stripes);
+
 }  // namespace dcode::raid

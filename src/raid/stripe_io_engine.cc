@@ -1,0 +1,252 @@
+#include "raid/stripe_io_engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "raid/journal.h"
+
+namespace dcode::raid {
+
+namespace {
+
+// Upper bound on elements per ranged transfer: keeps iovec arrays small
+// and each pool task's critical section bounded. FileDisk additionally
+// chunks at the syscall layer (IOV_MAX).
+constexpr size_t kMaxRunElements = 1024;
+
+}  // namespace
+
+StripeIoEngine::StripeIoEngine(int disks, size_t disk_size,
+                               size_t element_size, int rows,
+                               ThreadPool& pool, ArrayMetrics* metrics,
+                               WriteGate* gate, Options options)
+    : disk_size_(disk_size),
+      element_size_(element_size),
+      rows_(rows),
+      pool_(&pool),
+      metrics_(metrics),
+      gate_(gate),
+      options_(std::move(options)) {
+  DCODE_CHECK(disks > 0, "engine needs at least one disk");
+  DCODE_CHECK(element_size_ > 0, "element size must be positive");
+  DCODE_CHECK(rows_ > 0, "rows must be positive");
+  if (!options_.factory) options_.factory = default_device_factory();
+  disks_.reserve(static_cast<size_t>(disks));
+  for (int d = 0; d < disks; ++d) {
+    obs::Counter* er = nullptr;
+    obs::Counter* ew = nullptr;
+    if (metrics_ != nullptr) {
+      er = metrics_->disk_element_reads[static_cast<size_t>(d)];
+      ew = metrics_->disk_element_writes[static_cast<size_t>(d)];
+    }
+    disks_.push_back(std::make_unique<DiskHandle>(
+        options_.factory(d, disk_size_), er, ew));
+  }
+}
+
+void StripeIoEngine::replace_disk(int d) {
+  disk(d).faults().replace(options_.factory(d, disk_size_));
+}
+
+int StripeIoEngine::flush() {
+  int flushed = 0;
+  for (auto& h : disks_) {
+    if (h->failed()) continue;
+    DCODE_CHECK(h->faults().flush().ok(), "device flush failed");
+    ++flushed;
+  }
+  return flushed;
+}
+
+IoResult StripeIoEngine::with_retries(
+    FaultInjectingDevice& dev, const std::function<IoResult()>& io) const {
+  IoResult r = io();
+  for (int attempt = 0;
+       r.status == IoStatus::kTransient &&
+       attempt < options_.transient_retry_limit;
+       ++attempt) {
+    r = io();
+  }
+  if (r.status == IoStatus::kTransient) {
+    // Retry budget exhausted: escalate to fail-stop, the way a
+    // controller offlines a drive that keeps erroring.
+    dev.fail();
+    r = IoResult::failed();
+  }
+  return r;
+}
+
+void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
+                              std::span<const size_t> idx) {
+  DiskHandle& h = disk(d);
+  size_t i = 0;
+  while (i < idx.size()) {
+    // Extend the run while device offsets stay adjacent.
+    size_t run = 1;
+    uint64_t base = element_offset(ops[idx[i]].stripe, ops[idx[i]].row);
+    if (options_.coalesce) {
+      while (i + run < idx.size() && run < kMaxRunElements &&
+             element_offset(ops[idx[i + run]].stripe, ops[idx[i + run]].row) ==
+                 base + run * element_size_) {
+        ++run;
+      }
+    }
+    IoResult r;
+    if (run == 1) {
+      r = with_retries(h.faults(), [&] {
+        return h.faults().read(base,
+                               {ops[idx[i]].dst, element_size_});
+      });
+    } else {
+      std::vector<IoVec> iov(run);
+      for (size_t k = 0; k < run; ++k) {
+        iov[k] = IoVec{ops[idx[i + k]].dst, element_size_};
+      }
+      r = with_retries(h.faults(), [&] { return h.faults().readv(base, iov); });
+    }
+    if (!r.ok()) throw DiskFailedError(d);
+    h.account_reads(static_cast<int64_t>(run),
+                    static_cast<int64_t>(run * element_size_));
+    i += run;
+  }
+}
+
+void StripeIoEngine::run_write(int d, std::span<const WriteOp> ops,
+                               std::span<const size_t> idx) {
+  DiskHandle& h = disk(d);
+  size_t i = 0;
+  while (i < idx.size()) {
+    size_t run = 1;
+    uint64_t base = element_offset(ops[idx[i]].stripe, ops[idx[i]].row);
+    if (options_.coalesce) {
+      while (i + run < idx.size() && run < kMaxRunElements &&
+             element_offset(ops[idx[i + run]].stripe, ops[idx[i + run]].row) ==
+                 base + run * element_size_) {
+        ++run;
+      }
+    }
+    IoResult r;
+    if (run == 1) {
+      r = with_retries(h.faults(), [&] {
+        return h.faults().write(base, {ops[idx[i]].src, element_size_});
+      });
+    } else {
+      std::vector<ConstIoVec> iov(run);
+      for (size_t k = 0; k < run; ++k) {
+        iov[k] = ConstIoVec{ops[idx[i + k]].src, element_size_};
+      }
+      r = with_retries(h.faults(),
+                       [&] { return h.faults().writev(base, iov); });
+    }
+    if (!r.ok()) throw DiskFailedError(d);
+    h.account_writes(static_cast<int64_t>(run),
+                     static_cast<int64_t>(run * element_size_));
+    i += run;
+  }
+}
+
+void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
+  if (ops.empty()) return;
+  if (ops.size() == 1) {
+    const ReadOp& op = ops.front();
+    size_t one = 0;
+    run_read(op.disk, ops, {&one, 1});
+    return;
+  }
+  // Group by disk, order each group by device offset so adjacency is
+  // visible to the coalescer.
+  std::vector<std::vector<size_t>> by_disk(disks_.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    by_disk[static_cast<size_t>(ops[i].disk)].push_back(i);
+  }
+  std::vector<int> active;
+  for (int d = 0; d < disk_count(); ++d) {
+    auto& g = by_disk[static_cast<size_t>(d)];
+    if (g.empty()) continue;
+    std::sort(g.begin(), g.end(), [&](size_t a, size_t b) {
+      return element_offset(ops[a].stripe, ops[a].row) <
+             element_offset(ops[b].stripe, ops[b].row);
+    });
+    active.push_back(d);
+  }
+  auto run_group = [&](size_t i) {
+    int d = active[i];
+    run_read(d, ops, by_disk[static_cast<size_t>(d)]);
+  };
+  if (options_.parallel && active.size() > 1) {
+    pool_->parallel_for(active.size(), run_group);
+  } else {
+    for (size_t i = 0; i < active.size(); ++i) run_group(i);
+  }
+}
+
+void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
+  if (ops.empty()) return;
+  if (gate_ != nullptr && gate_->armed()) {
+    // Power-loss injection active: execute strictly in batch order, one
+    // admission per element, so the crash lands between the same element
+    // writes it always did — and elements admitted before it persist.
+    for (const WriteOp& op : ops) {
+      gate_->admit();
+      size_t idx_store = &op - ops.data();
+      run_write(op.disk, ops, {&idx_store, 1});
+    }
+    return;
+  }
+  if (ops.size() == 1) {
+    size_t one = 0;
+    run_write(ops.front().disk, ops, {&one, 1});
+    return;
+  }
+  std::vector<std::vector<size_t>> by_disk(disks_.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    by_disk[static_cast<size_t>(ops[i].disk)].push_back(i);
+  }
+  std::vector<int> active;
+  for (int d = 0; d < disk_count(); ++d) {
+    auto& g = by_disk[static_cast<size_t>(d)];
+    if (g.empty()) continue;
+    std::sort(g.begin(), g.end(), [&](size_t a, size_t b) {
+      return element_offset(ops[a].stripe, ops[a].row) <
+             element_offset(ops[b].stripe, ops[b].row);
+    });
+    active.push_back(d);
+  }
+  auto run_group = [&](size_t i) {
+    int d = active[i];
+    run_write(d, ops, by_disk[static_cast<size_t>(d)]);
+  };
+  if (options_.parallel && active.size() > 1) {
+    pool_->parallel_for(active.size(), run_group);
+  } else {
+    for (size_t i = 0; i < active.size(); ++i) run_group(i);
+  }
+}
+
+void StripeIoEngine::read_element(int d, int64_t stripe, int row,
+                                  uint8_t* dst) {
+  ReadOp op{d, stripe, row, dst};
+  size_t one = 0;
+  run_read(d, {&op, 1}, {&one, 1});
+}
+
+void StripeIoEngine::write_element(int d, int64_t stripe, int row,
+                                   const uint8_t* src) {
+  if (gate_ != nullptr) gate_->admit();
+  WriteOp op{d, stripe, row, src};
+  size_t one = 0;
+  run_write(d, {&op, 1}, {&one, 1});
+}
+
+std::vector<int64_t> StripeIoEngine::per_disk_element_accesses() const {
+  std::vector<int64_t> out;
+  out.reserve(disks_.size());
+  for (const auto& h : disks_) out.push_back(h->reads() + h->writes());
+  return out;
+}
+
+void StripeIoEngine::reset_stats() {
+  for (auto& h : disks_) h->reset_stats();
+}
+
+}  // namespace dcode::raid

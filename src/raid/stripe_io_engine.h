@@ -1,0 +1,218 @@
+// StripeIoEngine: the batched stripe I/O executor between the array's
+// policy layer and the BlockDevice layer.
+//
+// The array describes WHAT to transfer as batches of element-granular
+// accesses (the planner's unit); the engine decides HOW:
+//
+//  * coalescing — same-disk accesses to adjacent device offsets merge
+//    into one ranged vectored transfer (readv/writev), so a full-stripe
+//    read costs a handful of device ops instead of rows × cols memcpys;
+//  * parallelism — per-disk runs fan out across the ThreadPool, so
+//    independent disks (and therefore independent stripes) transfer
+//    concurrently for user reads/writes, not just rebuild;
+//  * accounting — element-granular per-disk counters are maintained
+//    exactly as if every element were its own access, so
+//    per_disk_element_accesses() still equals the planner's IoPlan
+//    predictions no matter how transfers were merged;
+//  * fault handling — transient device errors are retried within a
+//    budget, fail-stop devices surface as DiskFailedError, and every
+//    element write is admitted through the array's WriteGate so
+//    power-loss injection sees the same write stream it always did.
+//
+// The engine owns the disks (each backend wrapped in a
+// FaultInjectingDevice) and the factory that materializes replacements.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "raid/array_metrics.h"
+#include "raid/fault_injection.h"
+#include "util/thread_pool.h"
+
+namespace dcode::raid {
+
+// The array's power-loss injection hook: every element write is admitted
+// through the gate before it reaches a device. armed() lets the engine
+// skip the serial admission path entirely when no injection is active.
+class WriteGate {
+ public:
+  virtual ~WriteGate() = default;
+  virtual bool armed() const = 0;
+  // Consumes one unit of write budget; throws PowerLossError when the
+  // injected budget is exhausted.
+  virtual void admit() = 0;
+};
+
+// One array disk as the upper layers see it: the decorated device plus
+// the element-granular accounting the experiments are built on.
+class DiskHandle {
+ public:
+  DiskHandle(std::unique_ptr<BlockDevice> backend, obs::Counter* element_reads,
+             obs::Counter* element_writes)
+      : device_(std::make_unique<FaultInjectingDevice>(std::move(backend))),
+        obs_reads_(element_reads),
+        obs_writes_(element_writes) {}
+
+  int id() const { return device_->id(); }
+  size_t size() const { return device_->size(); }
+  bool failed() const { return device_->failed(); }
+  std::string_view backend_name() const { return device_->backend_name(); }
+
+  // Element-granular accounting (one count per element read/written via
+  // the engine, however the transfers were coalesced) — the runtime twin
+  // of sim::IoStats.
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() {
+    reads_.store(0, std::memory_order_relaxed);
+    writes_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+    device_->reset_op_stats();
+  }
+
+  // Device-level op counts (one per ranged transfer): the coalescing
+  // ratio is reads()/device_read_ops().
+  int64_t device_read_ops() const { return device_->read_ops(); }
+  int64_t device_write_ops() const { return device_->write_ops(); }
+
+  // Fault injection (decorator passthrough).
+  FaultInjectingDevice& faults() { return *device_; }
+  void corrupt(uint64_t offset, size_t len, Pcg32& rng) {
+    device_->corrupt(offset, len, rng);
+  }
+
+  // Direct unaccounted device access — the test backdoor for planting
+  // bytes behind the array's back. Throws DiskFailedError on a failed
+  // device, like any other access.
+  void read(uint64_t offset, std::span<uint8_t> out) const {
+    if (!device_->read(offset, out).ok()) throw DiskFailedError(id());
+  }
+  void write(uint64_t offset, std::span<const uint8_t> in) {
+    if (!device_->write(offset, in).ok()) throw DiskFailedError(id());
+  }
+
+ private:
+  friend class StripeIoEngine;
+
+  void account_reads(int64_t elements, int64_t bytes) {
+    reads_.fetch_add(elements, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    if (obs_reads_ != nullptr) obs_reads_->inc(elements);
+  }
+  void account_writes(int64_t elements, int64_t bytes) {
+    writes_.fetch_add(elements, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+    if (obs_writes_ != nullptr) obs_writes_->inc(elements);
+  }
+
+  std::unique_ptr<FaultInjectingDevice> device_;
+  obs::Counter* obs_reads_;
+  obs::Counter* obs_writes_;
+  mutable std::atomic<int64_t> reads_{0};
+  mutable std::atomic<int64_t> writes_{0};
+  mutable std::atomic<int64_t> bytes_read_{0};
+  mutable std::atomic<int64_t> bytes_written_{0};
+};
+
+// Engine execution knobs. Namespace-level (not nested) so it can serve
+// as a defaulted constructor argument.
+struct EngineOptions {
+  DeviceFactory factory;     // null => default_device_factory()
+  bool coalesce = true;      // merge adjacent same-disk accesses
+  bool parallel = true;      // fan per-disk runs across the pool
+  int transient_retry_limit = 3;  // kTransient retries per transfer
+};
+
+class StripeIoEngine {
+ public:
+  using Options = EngineOptions;
+
+  // One element access. `dst`/`src` must stay valid until the batch call
+  // returns; element length is the engine-wide element_size.
+  struct ReadOp {
+    int disk;
+    int64_t stripe;
+    int row;
+    uint8_t* dst;
+  };
+  struct WriteOp {
+    int disk;
+    int64_t stripe;
+    int row;
+    const uint8_t* src;
+  };
+
+  StripeIoEngine(int disks, size_t disk_size, size_t element_size, int rows,
+                 ThreadPool& pool, ArrayMetrics* metrics, WriteGate* gate,
+                 Options options = {});
+
+  int disk_count() const { return static_cast<int>(disks_.size()); }
+  size_t element_size() const { return element_size_; }
+  const Options& options() const { return options_; }
+
+  DiskHandle& disk(int d) { return *disks_[static_cast<size_t>(d)]; }
+  const DiskHandle& disk(int d) const { return *disks_[static_cast<size_t>(d)]; }
+
+  // Batched element I/O: coalesced into ranged vectored transfers per
+  // disk and fanned across the pool (per Options). Ops may arrive in any
+  // order; reads of a failed device throw DiskFailedError.
+  void read_batch(std::span<const ReadOp> ops);
+  // Element writes. When the WriteGate is armed, ops execute serially in
+  // batch order, one gate admission per element, so injected power loss
+  // lands between exactly the same element writes as before batching.
+  void write_batch(std::span<const WriteOp> ops);
+
+  // Single-element conveniences.
+  void read_element(int disk, int64_t stripe, int row, uint8_t* dst);
+  void write_element(int disk, int64_t stripe, int row, const uint8_t* src);
+
+  // Fail-stop injection and blank-replacement (new backend from the
+  // factory), mirroring a controller pulling and reseating a drive.
+  void fail_disk(int d) { disk(d).faults().fail(); }
+  void replace_disk(int d);
+
+  // Flushes every non-failed device (fsync for FileDisk). Returns the
+  // number of devices flushed.
+  int flush();
+
+  std::vector<int64_t> per_disk_element_accesses() const;
+  void reset_stats();
+
+  ThreadPool& pool() { return *pool_; }
+
+ private:
+  uint64_t element_offset(int64_t stripe, int row) const {
+    return (static_cast<uint64_t>(stripe) * static_cast<uint64_t>(rows_) +
+            static_cast<uint64_t>(row)) *
+           element_size_;
+  }
+  // Issues one coalesced run for `disk`; `first` indexes into the batch.
+  void run_read(int d, std::span<const ReadOp> ops,
+                std::span<const size_t> idx);
+  void run_write(int d, std::span<const WriteOp> ops,
+                 std::span<const size_t> idx);
+  IoResult with_retries(FaultInjectingDevice& dev,
+                        const std::function<IoResult()>& io) const;
+
+  size_t disk_size_;
+  size_t element_size_;
+  int rows_;
+  ThreadPool* pool_;
+  ArrayMetrics* metrics_;
+  WriteGate* gate_;
+  Options options_;
+  std::vector<std::unique_ptr<DiskHandle>> disks_;
+};
+
+}  // namespace dcode::raid
