@@ -9,6 +9,7 @@
 // (their idle parity disks finally serve reconstruction reads) while
 // remaining worse than the verticals'.
 #include <chrono>
+#include <cstring>
 
 #include "bench_common.h"
 #include "raid/planner.h"
@@ -48,6 +49,72 @@ double measure_runtime_degraded_read_mb_s(const std::string& backend) {
   auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
   return static_cast<double>(blob.size()) * iters / secs / (1024.0 * 1024.0);
+}
+
+// Repair-mode scrub wall time: corrupt one element in each of several
+// stripes through the device backdoor, then time the syndrome-localizing
+// scrub pass that finds and rewrites them all.
+double measure_runtime_scrub_repair_ms() {
+  const size_t esize = 8 * 1024;
+  const int64_t stripes = 32;
+  raid::Raid6Array array(codes::make_layout("dcode", 11), esize, stripes, 0);
+  const int rows = 10;  // p - 1
+  Pcg32 rng(0x5C4B);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  const int corruptions = 8;
+  for (int i = 0; i < corruptions; ++i) {
+    const int disk = i % 12;  // p + 1 columns
+    const int64_t stripe = (i * 4) % stripes;
+    const uint64_t off =
+        (static_cast<uint64_t>(stripe) * rows + static_cast<uint64_t>(i % rows)) *
+        esize;
+    std::vector<uint8_t> buf(64);
+    array.disk(disk).read(off, buf);
+    for (auto& b : buf) b ^= 0x3C;
+    array.disk(disk).write(off, buf);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  raid::ScrubReport rep = array.scrub_report({.repair = true});
+  const auto t1 = std::chrono::steady_clock::now();
+  DCODE_CHECK(rep.elements_repaired == corruptions,
+              "scrub repair missed a corrupted element");
+  DCODE_CHECK(array.scrub() == 0, "scrub repair did not converge");
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);
+  DCODE_CHECK(out == blob, "scrub repair did not restore the content");
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// Transient-burst tick: a burst of transient device errors against a full
+// sequential read, absorbed entirely by the engine's backoff-retry loop
+// (no escalation). Measures the latency cost of riding out the burst.
+double measure_runtime_transient_burst_read_ms() {
+  const size_t esize = 8 * 1024;
+  const int64_t stripes = 32;
+  raid::ArrayOptions opts;
+  opts.transient_retry_limit = 3;
+  opts.retry_backoff_base_ns = 20'000;
+  raid::Raid6Array array(codes::make_layout("dcode", 11), esize, stripes, 0,
+                         nullptr, std::move(opts));
+  Pcg32 rng(0x7B57);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);  // warmup, no faults
+  array.disk(4).faults().inject_transient_errors(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  array.read(0, out);
+  const auto t1 = std::chrono::steady_clock::now();
+  DCODE_CHECK(out == blob, "read through transient burst corrupted data");
+  DCODE_CHECK(array.failed_disk_count() == 0,
+              "a budget-sized burst must not escalate");
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -136,6 +203,21 @@ int main(int argc, char** argv) {
                   {{"code", "dcode"}, {"p", "11"}, {"backend", backend}});
   }
   rt.print(std::cout);
+
+  std::cout << "\n-- Runtime: self-healing costs (dcode, p=11, 32 "
+               "stripes) --\n";
+  TablePrinter heal({"scenario", "ms"});
+  const double scrub_ms = measure_runtime_scrub_repair_ms();
+  heal.add_row({"scrub-repair (8 corrupt elements)",
+                format_double(scrub_ms, 1)});
+  telemetry.add("runtime_scrub_repair_ms", scrub_ms,
+                {{"code", "dcode"}, {"p", "11"}, {"corruptions", "8"}});
+  const double burst_ms = measure_runtime_transient_burst_read_ms();
+  heal.add_row({"full read through transient burst",
+                format_double(burst_ms, 1)});
+  telemetry.add("runtime_transient_burst_read_ms", burst_ms,
+                {{"code", "dcode"}, {"p", "11"}, {"burst", "2"}});
+  heal.print(std::cout);
 
   telemetry.finish();
   return 0;

@@ -13,8 +13,11 @@
 // under either plan despite Theorem-1-identical read *counts*, because
 // its horizontal groups are contiguous row-major runs that merge into
 // single positioning delays.
+#include <atomic>
 #include <chrono>
+#include <cstring>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
 #include "raid/raid6_array.h"
@@ -63,6 +66,69 @@ double measure_runtime_rebuild_ms(const std::string& backend) {
   auto t1 = std::chrono::steady_clock::now();
   DCODE_CHECK(array.scrub() == 0, "rebuild left inconsistent stripes");
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+// Self-healing path: fail a disk under live foreground reads, let the
+// automatic spare promotion + background rebuild run at a given throttle,
+// and measure both the rebuild window and the read throughput the
+// foreground sustained inside it. Every read is verified against the
+// seeded content — the "zero failed reads" invariant is checked, not
+// assumed.
+struct BackgroundRebuildSample {
+  double rebuild_ms = 0.0;
+  double foreground_mb_s = 0.0;
+};
+
+BackgroundRebuildSample measure_background_rebuild(
+    double rate_stripes_per_sec) {
+  const size_t esize = 8 * 1024;
+  const int64_t stripes = 48;
+  raid::ArrayOptions opts;
+  opts.background_rebuild = true;
+  opts.rebuild_rate_stripes_per_sec = rate_stripes_per_sec;
+  opts.rebuild_burst_stripes = 4.0;
+  raid::Raid6Array array(codes::make_layout("dcode", 11), esize, stripes, 0,
+                         nullptr, std::move(opts));
+  array.add_hot_spares(1);
+  Pcg32 rng(0xBAC6);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> fg_bytes{0};
+  std::thread reader([&] {
+    const size_t chunk = 128 * 1024;
+    std::vector<uint8_t> out(chunk);
+    Pcg32 r(0xF06E);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t off = static_cast<int64_t>(r.next_below(
+          static_cast<uint32_t>(array.capacity() - chunk)));
+      array.read(off, out);
+      DCODE_CHECK(std::memcmp(out.data(), blob.data() + off, chunk) == 0,
+                  "foreground read returned wrong data during rebuild");
+      fg_bytes.fetch_add(static_cast<int64_t>(chunk),
+                         std::memory_order_relaxed);
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  array.fail_disk(3);  // spare auto-promotes, background rebuild starts
+  const int64_t bytes_at_fail = fg_bytes.load(std::memory_order_relaxed);
+  DCODE_CHECK(array.wait_for_rebuild(), "background rebuild did not finish");
+  const auto t1 = std::chrono::steady_clock::now();
+  const int64_t window_bytes =
+      fg_bytes.load(std::memory_order_relaxed) - bytes_at_fail;
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  DCODE_CHECK(array.scrub() == 0, "rebuild left inconsistent stripes");
+
+  BackgroundRebuildSample s;
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  s.rebuild_ms = secs * 1000.0;
+  s.foreground_mb_s =
+      static_cast<double>(window_bytes) / secs / (1024.0 * 1024.0);
+  return s;
 }
 
 }  // namespace
@@ -122,6 +188,34 @@ int main(int argc, char** argv) {
                   {{"code", "dcode"}, {"p", "11"}, {"backend", backend}});
   }
   rt.print(std::cout);
+
+  std::cout << "\n-- Runtime: background rebuild under live foreground "
+               "reads (dcode, p=11, 48 stripes, hot spare) --\n"
+               "Disk 3 fails mid-workload; the spare promotes "
+               "automatically and the token-bucket throttle paces the "
+               "rebuild while a reader thread hammers verified random "
+               "reads.\n";
+  struct ThrottleSetting {
+    double rate;
+    const char* label;
+  };
+  const ThrottleSetting throttles[] = {
+      {0.0, "unlimited"}, {1500.0, "1500"}, {400.0, "400"}};
+  TablePrinter bg({"throttle (stripes/s)", "rebuild-ms", "foreground-MB/s"});
+  for (const ThrottleSetting& t : throttles) {
+    BackgroundRebuildSample s = measure_background_rebuild(t.rate);
+    bg.add_row({t.label, format_double(s.rebuild_ms, 1),
+                format_double(s.foreground_mb_s, 0)});
+    obs::Labels cell = {{"code", "dcode"}, {"p", "11"}, {"throttle", t.label}};
+    telemetry.add("background_rebuild_ms", s.rebuild_ms, cell);
+    telemetry.add("foreground_read_mb_s_during_rebuild", s.foreground_mb_s,
+                  cell);
+  }
+  bg.print(std::cout);
+  std::cout << "\nObservations: the throttle bounds repair bandwidth, so "
+               "tighter settings lengthen the rebuild window roughly as "
+               "stripes/rate while foreground throughput recovers — the "
+               "classic repair-speed vs. service-quality dial.\n";
 
   telemetry.finish();
   return 0;

@@ -27,6 +27,9 @@ HANDLED = {
     "$schema", "title", "description",
     "type", "required", "properties", "additionalProperties", "items",
     "enum", "const", "minimum", "pattern",
+    # Extension, applied by check_bench_contract() rather than validate():
+    # per-bench required results/runtime-metric names.
+    "x-bench-required",
 }
 
 TYPE_CHECKS = {
@@ -94,6 +97,27 @@ def validate(value, schema, path, errors):
             validate(item, schema["items"], f"{path}[{i}]", errors)
 
 
+def check_bench_contract(doc, schema, errors):
+    """Apply the x-bench-required contract: benches with a listed profile
+    must emit every required result metric and runtime metric name."""
+    contract = schema.get("x-bench-required", {}).get(doc.get("bench"))
+    if not isinstance(contract, dict):
+        return
+    emitted = {r.get("metric") for r in doc.get("results", [])
+               if isinstance(r, dict)}
+    for metric in contract.get("results", []):
+        if metric not in emitted:
+            errors.append(f"$.results: bench {doc['bench']!r} must emit "
+                          f"metric {metric!r} (x-bench-required)")
+    runtime = {m.get("name")
+               for m in doc.get("runtime_metrics", {}).get("metrics", [])
+               if isinstance(m, dict)}
+    for name in contract.get("runtime_metrics", []):
+        if name not in runtime:
+            errors.append(f"$.runtime_metrics: bench {doc['bench']!r} must "
+                          f"record {name!r} (x-bench-required)")
+
+
 def check_file(path, schema):
     try:
         with open(path) as f:
@@ -103,6 +127,8 @@ def check_file(path, schema):
         return False
     errors = []
     validate(doc, schema, "$", errors)
+    if isinstance(doc, dict):
+        check_bench_contract(doc, schema, errors)
     if errors:
         print(f"FAIL {path}:")
         for e in errors:

@@ -59,8 +59,6 @@ std::vector<int64_t> Raid6Array::journal_open_stripes() const {
 int64_t Raid6Array::journal_recover() {
   ensure_online();
   DCODE_CHECK(journal_.has_value(), "journal not enabled");
-  DCODE_CHECK(failed_disk_count() == 0,
-              "journal recovery requires a healthy array");
   const CodeLayout& layout = *layout_;
   const std::vector<int64_t> open = journal_->open_stripes();
   obs::Span span(obs::TraceLog::global(), "journal.recover",
@@ -70,19 +68,35 @@ int64_t Raid6Array::journal_recover() {
   for (int64_t stripe : open) {
     // Re-encode parity from whatever data survived the crash: every data
     // element is individually consistent (element writes are atomic), so
-    // a fresh encode restores the stripe invariant.
-    Stripe s(layout, element_size_);
-    std::vector<StripeIoEngine::ReadOp> rops;
+    // a fresh encode restores the stripe invariant. On a degraded array
+    // the lost columns are decoded first (a crash can race a disk
+    // failure), and only live-for-this-stripe devices are rewritten.
+    std::lock_guard<std::mutex> lock(stripe_lock(stripe));
+    bool degraded = false;
     for (int c = 0; c < layout.cols(); ++c) {
-      for (int r = 0; r < layout.rows(); ++r) {
-        rops.push_back({c, stripe, r, s.at(r, c)});
-      }
+      degraded = degraded ||
+                 disk_degraded_for_stripe(map_.physical_disk(stripe, c),
+                                          stripe);
     }
-    engine_.read_batch(rops);
+    Stripe s(layout, element_size_);
+    if (degraded) {
+      load_stripe_degraded(stripe, s);
+    } else {
+      std::vector<StripeIoEngine::ReadOp> rops;
+      for (int c = 0; c < layout.cols(); ++c) {
+        const int pd = map_.physical_disk(stripe, c);
+        for (int r = 0; r < layout.rows(); ++r) {
+          rops.push_back({pd, stripe, r, s.at(r, c)});
+        }
+      }
+      engine_.read_batch(rops);
+    }
     codes::encode_stripe(s);
     std::vector<StripeIoEngine::WriteOp> wops;
     for (const Equation& q : layout.equations()) {
-      wops.push_back({q.parity.col, stripe, q.parity.row, s.at(q.parity)});
+      const int pd = map_.physical_disk(stripe, q.parity.col);
+      if (disk_degraded_for_stripe(pd, stripe)) continue;
+      wops.push_back({pd, stripe, q.parity.row, s.at(q.parity)});
     }
     engine_.write_batch(wops);
     journal_->commit(stripe);

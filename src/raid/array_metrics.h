@@ -43,6 +43,37 @@ struct ArrayMetrics {
                           "stripes whose parity failed verification");
     disks_failed = &registry.gauge("raid.disks_failed", {},
                                    "currently failed disks");
+    engine_transient_retries = &registry.counter(
+        "raid.engine.transient_retries", {},
+        "transient device errors retried by the engine");
+    engine_retry_exhausted = &registry.counter(
+        "raid.engine.retry_exhausted", {},
+        "transfers whose transient-retry budget ran out, escalating the "
+        "device to fail-stop");
+    failovers = &registry.counter(
+        "raid.failovers", {},
+        "user ops re-planned after a disk failed mid-operation");
+    spare_promotions = &registry.counter(
+        "raid.spare_promotions", {},
+        "hot spares automatically promoted into failed slots");
+    rebuild_stripes = &registry.counter(
+        "raid.rebuild.stripes_rebuilt", {},
+        "stripes reconstructed by the background rebuild worker");
+    rebuild_in_progress = &registry.gauge(
+        "raid.rebuild.in_progress", {},
+        "1 while a background rebuild worker is active");
+    scrub_equations_skipped = &registry.counter(
+        "raid.scrub.equations_skipped", {},
+        "parity equations skipped by scrub (a member on a degraded disk)");
+    scrub_elements_located = &registry.counter(
+        "raid.scrub.elements_located", {},
+        "corrupted elements localized via the parity-family syndromes");
+    scrub_elements_repaired = &registry.counter(
+        "raid.scrub.elements_repaired", {},
+        "corrupted elements rewritten by repair-mode scrub");
+    scrub_stripes_unrepairable = &registry.counter(
+        "raid.scrub.stripes_unrepairable", {},
+        "inconsistent stripes repair-mode scrub could not localize");
     journal_intents_opened =
         &registry.counter("raid.journal.intents_opened", {},
                           "write-intent records newly opened");
@@ -65,6 +96,13 @@ struct ArrayMetrics {
     scrub_latency_ns = &registry.histogram(
         "raid.scrub_latency_ns", obs::latency_bounds_ns(), {},
         "wall time per scrub");
+    engine_retry_backoff_ns = &registry.histogram(
+        "raid.engine.retry_backoff_ns", obs::latency_bounds_ns(), {},
+        "backoff slept before each transient retry");
+    rebuild_throttle_wait_ns = &registry.histogram(
+        "raid.rebuild.throttle_wait_ns", obs::latency_bounds_ns(), {},
+        "time the background rebuild worker waited on its token bucket, "
+        "per stripe");
     read_bytes = &registry.histogram("raid.read_bytes",
                                      obs::size_bounds_bytes(), {},
                                      "user bytes per read op");
@@ -99,6 +137,16 @@ struct ArrayMetrics {
   obs::Counter* scrub_stripes_checked;
   obs::Counter* scrub_stripes_inconsistent;
   obs::Gauge* disks_failed;
+  obs::Counter* engine_transient_retries;
+  obs::Counter* engine_retry_exhausted;
+  obs::Counter* failovers;
+  obs::Counter* spare_promotions;
+  obs::Counter* rebuild_stripes;
+  obs::Gauge* rebuild_in_progress;
+  obs::Counter* scrub_equations_skipped;
+  obs::Counter* scrub_elements_located;
+  obs::Counter* scrub_elements_repaired;
+  obs::Counter* scrub_stripes_unrepairable;
   obs::Counter* journal_intents_opened;
   obs::Counter* journal_commits;
   obs::Counter* journal_replayed_stripes;
@@ -107,6 +155,8 @@ struct ArrayMetrics {
   obs::Histogram* write_latency_ns;
   obs::Histogram* rebuild_latency_ns;
   obs::Histogram* scrub_latency_ns;
+  obs::Histogram* engine_retry_backoff_ns;
+  obs::Histogram* rebuild_throttle_wait_ns;
   obs::Histogram* read_bytes;
   obs::Histogram* write_bytes;
   std::vector<obs::Counter*> disk_element_reads;

@@ -28,12 +28,16 @@ void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
   std::vector<Element> lost;
   std::vector<ReadOp> rops;
   for (int c = 0; c < layout.cols(); ++c) {
-    bool dead = disk_degraded(c);
+    const int pd = map_.physical_disk(stripe, c);
+    // Per-stripe degradedness: a rebuilding disk is live for stripes
+    // below its watermark, so a partially rebuilt spare contributes the
+    // data it already has instead of forcing a full decode.
+    bool dead = disk_degraded_for_stripe(pd, stripe);
     for (int r = 0; r < layout.rows(); ++r) {
       if (dead) {
         lost.push_back(codes::make_element(r, c));
       } else {
-        rops.push_back({c, stripe, r, out.at(r, c)});
+        rops.push_back({pd, stripe, r, out.at(r, c)});
       }
     }
   }
@@ -64,18 +68,32 @@ void Raid6Array::write_stripe_degraded(int64_t stripe, int64_t g,
     touched.insert(loc.element);
   }
   codes::encode_stripe(s);
-  std::vector<WriteOp> wops;
-  for (int r = 0; r < layout.rows(); ++r) {
-    for (int c = 0; c < layout.cols(); ++c) {
-      int pdisk = map_.physical_disk(stripe, c);
-      if (disk_degraded(pdisk)) continue;
-      Element e = codes::make_element(r, c);
-      if (layout.is_parity(r, c) || touched.count(e)) {
-        wops.push_back({pdisk, stripe, r, s.at(r, c)});
+  // Write phase with internal failover: once the first write lands the
+  // on-disk stripe mixes old and new state, so another disk dying here
+  // must NOT trigger a re-load (decoding through half-updated parity
+  // would manufacture consistent garbage). Replay the captured target
+  // values instead — they are idempotent — skipping disks that have died
+  // since; rebuild reconstructs their elements from the survivors.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      std::vector<WriteOp> wops;
+      for (int r = 0; r < layout.rows(); ++r) {
+        for (int c = 0; c < layout.cols(); ++c) {
+          int pdisk = map_.physical_disk(stripe, c);
+          if (disk_degraded_for_stripe(pdisk, stripe)) continue;
+          Element e = codes::make_element(r, c);
+          if (layout.is_parity(r, c) || touched.count(e)) {
+            wops.push_back({pdisk, stripe, r, s.at(r, c)});
+          }
+        }
       }
+      engine_.write_batch(wops);
+      return;
+    } catch (const DiskFailedError&) {
+      if (attempt >= kMaxFailoverAttempts) throw;
+      metrics_.failovers->inc();
     }
   }
-  engine_.write_batch(wops);
 }
 
 void Raid6Array::read_degraded(int64_t first, int64_t last, int64_t offset,

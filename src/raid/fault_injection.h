@@ -20,6 +20,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,9 +37,13 @@ class FaultInjectingDevice : public BlockDevice {
       : BlockDevice(inner->id(), inner->size()), inner_(std::move(inner)) {}
 
   std::string_view backend_name() const override {
-    return inner_->backend_name();
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
+    return inner_->backend_name();  // views a static name, safe past unlock
   }
-  uint32_t capabilities() const override { return inner_->capabilities(); }
+  uint32_t capabilities() const override {
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
+    return inner_->capabilities();
+  }
 
   BlockDevice& inner() { return *inner_; }
   const BlockDevice& inner() const { return *inner_; }
@@ -46,12 +52,23 @@ class FaultInjectingDevice : public BlockDevice {
   bool failed() const { return failed_.load(std::memory_order_acquire); }
   void fail() { failed_.store(true, std::memory_order_release); }
   // Swap in a blank replacement device (a fresh backend from the array's
-  // factory) and clear the fail-stop state.
+  // factory) and clear the fail-stop state. Safe against concurrent I/O:
+  // in-flight ops hold the inner lock shared, so the swap waits for them
+  // (automatic spare promotion replaces a disk while pool workers run).
   void replace(std::unique_ptr<BlockDevice> blank) {
     DCODE_CHECK(blank->size() == size(), "replacement device size mismatch");
+    std::unique_lock<std::shared_mutex> lock(inner_mu_);
     inner_ = std::move(blank);
     transient_remaining_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
     failed_.store(false, std::memory_order_release);
+  }
+
+  // Bumped by every replace(). Readers that must not accept data from a
+  // swapped-in blank (a retry loop can straddle an automatic spare
+  // promotion) capture this before issuing I/O and re-check it after.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
   }
 
   // --- transient errors ---------------------------------------------------
@@ -77,6 +94,7 @@ class FaultInjectingDevice : public BlockDevice {
   // not count as injected faults (the disk "succeeded").
   void corrupt(uint64_t offset, size_t len, Pcg32& rng) {
     DCODE_CHECK(offset + len <= size(), "corrupt past end of device");
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     std::vector<uint8_t> buf(len);
     DCODE_CHECK(inner_->read(offset, buf).ok(), "corrupt: readback failed");
     for (size_t i = 0; i < len; ++i) {
@@ -88,45 +106,59 @@ class FaultInjectingDevice : public BlockDevice {
  protected:
   IoResult do_read(uint64_t offset, std::span<uint8_t> out) override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->read(offset, out);
   }
   IoResult do_write(uint64_t offset, std::span<const uint8_t> in) override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->write(offset, in);
   }
   IoResult do_readv(uint64_t offset, std::span<const IoVec> iov) override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->readv(offset, iov);
   }
   IoResult do_writev(uint64_t offset,
                      std::span<const ConstIoVec> iov) override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->writev(offset, iov);
   }
   IoResult do_flush() override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->flush();
   }
   IoResult do_discard(uint64_t offset, size_t len) override {
     if (IoResult r = intercept(); !r.ok()) return r;
+    std::shared_lock<std::shared_mutex> lock(inner_mu_);
     return inner_->discard(offset, len);
   }
 
  private:
   IoResult intercept() {
+    // Latency first: an erroring op still occupies the device for its
+    // service time, so paced tests see realistic timings on fault paths
+    // too (the early-return ordering here once skipped the sleep).
+    if (int64_t ns = latency_ns_.load(std::memory_order_relaxed); ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
     if (failed_.load(std::memory_order_acquire)) return IoResult::failed();
     if (transient_remaining_.load(std::memory_order_relaxed) > 0 &&
         transient_remaining_.fetch_sub(1, std::memory_order_relaxed) > 0) {
       return IoResult::transient();
     }
-    if (int64_t ns = latency_ns_.load(std::memory_order_relaxed); ns > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
-    }
     return IoResult::success(0);
   }
 
+  // Guards inner_ against replace() while ops are in flight; the sleep in
+  // intercept() happens before the lock so latency injection never holds
+  // it.
+  mutable std::shared_mutex inner_mu_;
   std::unique_ptr<BlockDevice> inner_;
   std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> generation_{0};
   std::atomic<int64_t> transient_remaining_{0};
   std::atomic<int64_t> latency_ns_{0};
 };

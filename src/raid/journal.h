@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -35,6 +36,7 @@ class WriteIntentJournal {
   // what intent-open metrics want to count). Throws when every slot is
   // taken (caller must commit earlier writes first).
   bool begin(int64_t stripe) {
+    std::lock_guard<std::mutex> lock(mu_);
     int free_slot = -1;
     for (size_t i = 0; i < slots_.size(); ++i) {
       if (slots_[i] == stripe) return false;  // already open
@@ -47,6 +49,7 @@ class WriteIntentJournal {
 
   // Clears the intent record after the stripe's parity is durable.
   void commit(int64_t stripe) {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& s : slots_) {
       if (s == stripe) {
         s = kEmpty;
@@ -60,6 +63,7 @@ class WriteIntentJournal {
 
   // Stripes with open intents — exactly what crash recovery must scrub.
   std::vector<int64_t> open_stripes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<int64_t> out;
     for (int64_t s : slots_) {
       if (s != kEmpty) out.push_back(s);
@@ -71,11 +75,15 @@ class WriteIntentJournal {
   int capacity() const { return static_cast<int>(slots_.size()); }
 
   void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& s : slots_) s = kEmpty;
   }
 
  private:
   static constexpr int64_t kEmpty = -1;
+  // Concurrent writers journal different stripes at once; the NVRAM slot
+  // array is one shared resource.
+  mutable std::mutex mu_;
   std::vector<int64_t> slots_;
 };
 

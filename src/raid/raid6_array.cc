@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <mutex>
 
@@ -89,8 +90,26 @@ Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
                   options.coalesce,
                   options.parallel_user_io,
                   options.transient_retry_limit,
-              }) {
-  needs_rebuild_.assign(static_cast<size_t>(layout_->cols()), false);
+                  options.retry_backoff_base_ns,
+                  /*retry_backoff_max_ns=*/5'000'000,
+                  options.retry_deadline_ns,
+                  /*backoff_seed=*/0x5EEDBACCu,
+              }),
+      health_(layout_->cols(), options.health,
+              registry != nullptr ? *registry : obs::Registry::global()),
+      options_(std::move(options)),
+      needs_rebuild_(static_cast<size_t>(layout_->cols())),
+      rebuild_throttle_(options_.rebuild_rate_stripes_per_sec,
+                        options_.rebuild_burst_stripes) {
+  engine_.set_health_monitor(&health_);
+  health_.set_escalation_callback([this](int d) { handle_disk_failure(d); });
+}
+
+Raid6Array::~Raid6Array() {
+  stop_rebuild_.store(true, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(rebuild_mu_);
+  rebuild_cv_.wait(lock, [&] { return !rebuild_running_; });
+  if (rebuild_thread_.joinable()) rebuild_thread_.join();
 }
 
 int Raid6Array::failed_disk_count() const {
@@ -103,32 +122,70 @@ void Raid6Array::reset_stats() { engine_.reset_stats(); }
 
 void Raid6Array::add_hot_spares(int count) {
   DCODE_CHECK(count >= 0, "spare count must be non-negative");
-  hot_spares_ += count;
+  hot_spares_.fetch_add(count, std::memory_order_relaxed);
 }
 
 void Raid6Array::fail_disk(int disk) {
   DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
-  if (!engine_.disk(disk).failed()) {
-    metrics_.disk_failures[static_cast<size_t>(disk)]->inc();
-    metrics_.disks_failed->add(1);
-  }
   engine_.fail_disk(disk);
-  if (hot_spares_ > 0) {
-    --hot_spares_;
-    engine_.replace_disk(disk);
-    metrics_.disks_failed->sub(1);
-    needs_rebuild_[static_cast<size_t>(disk)] = true;
+  // Route the declaration through the monitor: it fires the escalation
+  // handler (metrics, spare promotion, background rebuild) exactly once
+  // per failure episode.
+  health_.report_fail_stop(disk);
+  if (!options_.background_rebuild && needs_rebuild(disk)) {
+    // Legacy synchronous behaviour: a promoted spare is rebuilt before
+    // fail_disk returns, so the array never observes the intermediate
+    // state.
     rebuild();
   }
+}
+
+void Raid6Array::handle_disk_failure(int disk) {
+  metrics_.disk_failures[static_cast<size_t>(disk)]->inc();
+  metrics_.disks_failed->add(1);
+  if (!engine_.disk(disk).failed()) engine_.fail_disk(disk);
+  if (try_promote_spare(disk) && options_.background_rebuild &&
+      !crashed_.load(std::memory_order_relaxed)) {
+    start_background_rebuild();
+  }
+}
+
+bool Raid6Array::try_promote_spare(int disk) {
+  int cur = hot_spares_.load(std::memory_order_relaxed);
+  while (cur > 0 &&
+         !hot_spares_.compare_exchange_weak(cur, cur - 1,
+                                            std::memory_order_relaxed)) {
+  }
+  if (cur <= 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    // Watermark protocol: readers must see the slot as fully degraded
+    // before the blank goes live, so needs_rebuild and the zero watermark
+    // are published first.
+    needs_rebuild_[static_cast<size_t>(disk)].store(
+        true, std::memory_order_release);
+    engine_.disk(disk).set_readable_stripes(0);
+    engine_.replace_disk(disk);
+  }
+  metrics_.disks_failed->sub(1);
+  metrics_.spare_promotions->inc();
+  health_.mark_rebuilding(disk);
+  obs::Span span(obs::TraceLog::global(), "spare.promoted",
+                 {{"disk", disk}});
+  return true;
 }
 
 void Raid6Array::replace_disk(int disk) {
   DCODE_CHECK(disk >= 0 && disk < layout_->cols(), "disk out of range");
   DCODE_CHECK(engine_.disk(disk).failed(),
               "only failed disks can be replaced");
+  std::lock_guard<std::mutex> lock(promote_mu_);
+  needs_rebuild_[static_cast<size_t>(disk)].store(true,
+                                                  std::memory_order_release);
+  engine_.disk(disk).set_readable_stripes(0);
   engine_.replace_disk(disk);
   metrics_.disks_failed->sub(1);
-  needs_rebuild_[static_cast<size_t>(disk)] = true;
+  health_.mark_rebuilding(disk);
 }
 
 void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
@@ -153,16 +210,16 @@ void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
   }
   engine_.read_batch(rops);
 
-  // Phase 2: overlay the user bytes, compute per-element deltas, and
-  // batch-write the fresh data (in element order — the same budget
-  // consumption order the monolith's per-element loop produced).
+  // Phase 2 (computation only): overlay the user bytes and compute the
+  // per-element deltas, including the parity deltas of the dirty closure
+  // in topo order. No I/O happens here, so everything below works from
+  // values captured while the stripe was still consistent.
   std::vector<Element> written;
   std::map<Element, AlignedBuffer> delta;  // old ^ new per element
   std::vector<AlignedBuffer> fresh;
   std::vector<WriteOp> wops;
   written.reserve(n);
   fresh.reserve(n);
-  wops.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const int64_t e = g + static_cast<int64_t>(i);
     size_t eb, sb, len;
@@ -175,32 +232,17 @@ void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
     AlignedBuffer dbuf(element_size_);
     xorops::xor_assign(dbuf.data(), old_data[i].data(), fresh.back().data(),
                        element_size_);
-    wops.push_back(
-        {locs[i].disk, stripe, locs[i].element.row, fresh.back().data()});
     written.push_back(locs[i].element);
     delta.emplace(locs[i].element, std::move(dbuf));
   }
-  engine_.write_batch(wops);
-
-  // Phase 3: batch-read the old parities of the dirty closure, fold the
-  // deltas through in topo order, batch-write them back (topo order).
   const std::vector<int> closure = dirty_parity_closure(layout, written);
   std::vector<int> pdisks;
-  std::vector<AlignedBuffer> parity;
-  rops.clear();
+  std::vector<AlignedBuffer> pdeltas;
   pdisks.reserve(closure.size());
-  parity.reserve(closure.size());
+  pdeltas.reserve(closure.size());
   for (int qi : closure) {
     const Equation& q = layout.equations()[static_cast<size_t>(qi)];
     pdisks.push_back(map_.physical_disk(stripe, q.parity.col));
-    parity.emplace_back(element_size_);
-    rops.push_back(
-        {pdisks.back(), stripe, q.parity.row, parity.back().data()});
-  }
-  engine_.read_batch(rops);
-  wops.clear();
-  for (size_t i = 0; i < closure.size(); ++i) {
-    const Equation& q = layout.equations()[static_cast<size_t>(closure[i])];
     AlignedBuffer pdelta(element_size_);
     for (const Element& src : q.sources) {
       auto it = delta.find(src);
@@ -208,11 +250,73 @@ void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
         xorops::xor_into(pdelta.data(), it->second.data(), element_size_);
       }
     }
-    xorops::xor_into(parity[i].data(), pdelta.data(), element_size_);
-    wops.push_back({pdisks[i], stripe, q.parity.row, parity[i].data()});
+    pdeltas.emplace_back(element_size_);
+    std::memcpy(pdeltas.back().data(), pdelta.data(), element_size_);
     delta.emplace(q.parity, std::move(pdelta));
   }
-  engine_.write_batch(wops);
+
+  // Phase 3 (writes, with internal failover): once the first device write
+  // lands the stripe is mid-update, and re-reading it would mix old and
+  // new state — a degraded re-plan decoding through a stale parity would
+  // manufacture consistent garbage. So a disk dying from here on is
+  // handled by REPLAYING the captured target values (data writes and
+  // parity old^delta are idempotent), skipping disks that have died; the
+  // rebuild later reconstructs their elements from the consistent
+  // survivors. Only the pre-write phases above may throw to the caller.
+  std::vector<AlignedBuffer> parity;  // old parity, captured exactly once
+  std::vector<char> parity_live(closure.size(), 0);
+  bool parity_read = false;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      wops.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (disk_degraded_for_stripe(locs[i].disk, stripe)) continue;
+        wops.push_back(
+            {locs[i].disk, stripe, locs[i].element.row, fresh[i].data()});
+      }
+      engine_.write_batch(wops);
+      if (!parity_read) {
+        // Parity is still uniformly old (no parity write has happened in
+        // any attempt), so reading it now is safe; after this point the
+        // captured values are authoritative and are never re-read.
+        parity.clear();
+        rops.clear();
+        for (size_t i = 0; i < closure.size(); ++i) {
+          const Equation& q =
+              layout.equations()[static_cast<size_t>(closure[i])];
+          parity.emplace_back(element_size_);
+          parity_live[i] = disk_degraded_for_stripe(pdisks[i], stripe) ? 0 : 1;
+          if (parity_live[i] != 0) {
+            rops.push_back(
+                {pdisks[i], stripe, q.parity.row, parity[i].data()});
+          }
+        }
+        engine_.read_batch(rops);
+        for (size_t i = 0; i < closure.size(); ++i) {
+          xorops::xor_into(parity[i].data(), pdeltas[i].data(),
+                           element_size_);
+        }
+        parity_read = true;
+      }
+      wops.clear();
+      for (size_t i = 0; i < closure.size(); ++i) {
+        if (parity_live[i] == 0 ||
+            disk_degraded_for_stripe(pdisks[i], stripe)) {
+          continue;
+        }
+        const Equation& q =
+            layout.equations()[static_cast<size_t>(closure[i])];
+        wops.push_back({pdisks[i], stripe, q.parity.row, parity[i].data()});
+      }
+      engine_.write_batch(wops);
+      return;
+    } catch (const DiskFailedError&) {
+      // More failures than the code tolerates would loop forever; at that
+      // point the array is lost anyway — surface the error.
+      if (attempt >= kMaxFailoverAttempts) throw;
+      metrics_.failovers->inc();
+    }
+  }
 }
 
 void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
@@ -248,10 +352,29 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
       if (journal_->begin(stripe)) metrics_.journal_intents_opened->inc();
     }
 
-    if (degraded) {
-      write_stripe_degraded(stripe, g, stripe_end, offset, data);
-    } else {
-      write_stripe_rmw(stripe, g, stripe_end, offset, data);
+    // The stripe lock serializes this update against the background
+    // rebuild worker (and other writers); degradedness is decided
+    // per stripe under the lock, so a stripe behind the rebuild
+    // watermark takes the fast RMW path while stripes ahead of it
+    // rewrite around the rebuilding disk. A disk failing mid-write
+    // surfaces as DiskFailedError — re-plan and retry (failover).
+    for (int attempt = 0;; ++attempt) {
+      std::unique_lock<std::mutex> lock(stripe_lock(stripe));
+      bool stripe_degraded = false;
+      for (int d = 0; d < layout.cols(); ++d) {
+        stripe_degraded |= disk_degraded_for_stripe(d, stripe);
+      }
+      try {
+        if (stripe_degraded) {
+          write_stripe_degraded(stripe, g, stripe_end, offset, data);
+        } else {
+          write_stripe_rmw(stripe, g, stripe_end, offset, data);
+        }
+        break;
+      } catch (const DiskFailedError&) {
+        if (attempt >= kMaxFailoverAttempts) throw;
+        metrics_.failovers->inc();
+      }
     }
 
     if (journal_) {
@@ -302,28 +425,50 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
   const int64_t first = offset / esize;
   const int64_t last = (offset + static_cast<int64_t>(out.size()) - 1) / esize;
 
-  std::vector<int> failed;
-  for (int d = 0; d < layout_->cols(); ++d) {
-    if (disk_degraded(d)) failed.push_back(d);
-  }
+  const int64_t last_stripe = last / layout_->data_count();
+  auto collect_failed = [&] {
+    std::vector<int> failed;
+    for (int d = 0; d < layout_->cols(); ++d) {
+      if (disk_degraded_for_range(d, last_stripe)) failed.push_back(d);
+    }
+    return failed;
+  };
+  std::vector<int> failed = collect_failed();
   LatencyTimer timer(metrics_.read_latency_ns);
   (failed.empty() ? metrics_.reads : metrics_.degraded_reads)->inc();
   metrics_.bytes_read->inc(static_cast<int64_t>(out.size()));
   metrics_.read_bytes->observe(static_cast<int64_t>(out.size()));
 
-  if (failed.empty()) {
-    read_healthy(first, last, offset, out);
-  } else {
-    read_degraded(first, last, offset, out, failed);
+  // Failover loop: a disk failing (or a spare being promoted) while this
+  // read is in flight surfaces as DiskFailedError from the engine; the
+  // failure set is recomputed and the read re-planned, so user reads
+  // never fail for fault sequences the code tolerates.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (failed.empty()) {
+        read_healthy(first, last, offset, out);
+      } else {
+        read_degraded(first, last, offset, out, failed);
+      }
+      return;
+    } catch (const DiskFailedError&) {
+      if (attempt >= kMaxFailoverAttempts) throw;
+      metrics_.failovers->inc();
+      failed = collect_failed();
+    }
   }
 }
 
 void Raid6Array::rebuild() {
+  // Joins any background worker first: the synchronous rebuild is the
+  // catch-all (post-crash recovery, manual repair) and must not race the
+  // worker's watermark advances.
+  wait_for_rebuild();
   ensure_online();
   const CodeLayout& layout = *layout_;
   std::vector<int> targets;
   for (int d = 0; d < layout.cols(); ++d) {
-    if (needs_rebuild_[static_cast<size_t>(d)]) {
+    if (needs_rebuild(d)) {
       DCODE_CHECK(!engine_.disk(d).failed(), "replace_disk before rebuild");
       targets.push_back(d);
     }
@@ -354,56 +499,18 @@ void Raid6Array::rebuild() {
     execute_multi_disk_rebuild(layout, engine_, targets, stripes_);
   }
 
-  for (int d : targets) needs_rebuild_[static_cast<size_t>(d)] = false;
+  {
+    std::lock_guard<std::mutex> lock(promote_mu_);
+    for (int d : targets) {
+      engine_.disk(d).set_readable_stripes(
+          std::numeric_limits<int64_t>::max());
+      needs_rebuild_[static_cast<size_t>(d)].store(
+          false, std::memory_order_release);
+    }
+  }
+  for (int d : targets) health_.mark_healthy(d);
   metrics_.elements_reconstructed->inc(static_cast<int64_t>(targets.size()) *
                                        layout.rows() * stripes_);
-}
-
-int64_t Raid6Array::scrub() {
-  return static_cast<int64_t>(scrub_report().inconsistent_stripes.size());
-}
-
-ScrubReport Raid6Array::scrub_report() {
-  ensure_online();
-  DCODE_CHECK(failed_disk_count() == 0, "scrub requires a healthy array");
-  const CodeLayout& layout = *layout_;
-  LatencyTimer timer(metrics_.scrub_latency_ns);
-  metrics_.scrubs->inc();
-  obs::Span span(obs::TraceLog::global(), "scrub", {{"stripes", stripes_}});
-  ScrubReport report;
-  report.stripes_checked = stripes_;
-  std::mutex bad_mu;
-  pool_.parallel_for_chunked(
-      static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
-        Stripe s(layout, element_size_);
-        std::vector<ReadOp> rops;
-        for (size_t st = begin; st < end; ++st) {
-          rops.clear();
-          for (int c = 0; c < layout.cols(); ++c) {
-            for (int r = 0; r < layout.rows(); ++r) {
-              rops.push_back({c, static_cast<int64_t>(st), r, s.at(r, c)});
-            }
-          }
-          engine_.read_batch(rops);
-          Stripe re = s.clone();
-          codes::encode_stripe(re);
-          if (!re.equals(s)) {
-            std::lock_guard<std::mutex> lock(bad_mu);
-            report.inconsistent_stripes.push_back(static_cast<int64_t>(st));
-          }
-        }
-      });
-  std::sort(report.inconsistent_stripes.begin(),
-            report.inconsistent_stripes.end());
-  metrics_.scrub_stripes_checked->inc(stripes_);
-  metrics_.scrub_stripes_inconsistent->inc(
-      static_cast<int64_t>(report.inconsistent_stripes.size()));
-  if (!report.inconsistent_stripes.empty()) {
-    span.note("scrub.inconsistent",
-              {{"count",
-                static_cast<int64_t>(report.inconsistent_stripes.size())}});
-  }
-  return report;
 }
 
 std::vector<int64_t> Raid6Array::per_disk_element_accesses() const {
@@ -419,6 +526,12 @@ void Raid6Array::publish_disk_metrics(obs::Registry& registry) const {
     registry.gauge("raid.disk.bytes_read", l).set(h.bytes_read());
     registry.gauge("raid.disk.bytes_written", l).set(h.bytes_written());
     registry.gauge("raid.disk.failed", l).set(h.failed() ? 1 : 0);
+    registry.gauge("raid.disk.health_state", l)
+        .set(static_cast<int64_t>(health_.state(d)));
+    // Rebuild progress: stripes of this device currently readable
+    // (clamped — a healthy device reports the stripe count).
+    registry.gauge("raid.disk.readable_stripes", l)
+        .set(std::min<int64_t>(h.readable_stripes(), stripes_));
     // Device-level op counts, labeled by backend: one count per ranged
     // transfer, so reads()/device_read_ops() is the coalescing ratio.
     obs::Labels lb = {{"backend", std::string(h.backend_name())},

@@ -36,9 +36,13 @@
 //    with open intents (see raid/journal.h).
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "codes/code_layout.h"
@@ -46,19 +50,38 @@
 #include "obs/metrics.h"
 #include "raid/address_map.h"
 #include "raid/array_metrics.h"
+#include "raid/health_monitor.h"
 #include "raid/journal.h"
 #include "raid/planner.h"
 #include "raid/stripe_io_engine.h"
 #include "util/thread_pool.h"
+#include "util/token_bucket.h"
 
 namespace dcode::raid {
 
 // Result of a full parity scrub: every stripe whose parity equations do
 // not match its data, by stripe id (what a repair pass needs, not just a
-// count).
+// count). On a degraded array, equations with a member on a dead disk
+// cannot be evaluated and are tallied in equations_skipped instead of
+// aborting the scrub. Repair mode additionally localizes single-element
+// corruptions (see ScrubOptions) and reports what it could fix.
 struct ScrubReport {
   int64_t stripes_checked = 0;
-  std::vector<int64_t> inconsistent_stripes;  // ascending
+  std::vector<int64_t> inconsistent_stripes;  // ascending, as *found*
+                                              // (before any repair)
+  int64_t equations_checked = 0;
+  int64_t equations_skipped = 0;   // member on a failed/rebuilding disk
+  int64_t elements_located = 0;    // corruptions pinpointed by syndromes
+  int64_t elements_repaired = 0;   // ...and rewritten + re-verified
+  int64_t stripes_unrepairable = 0;
+};
+
+struct ScrubOptions {
+  // Localize-and-rewrite single-element corruption: an element is charged
+  // when the set of unsatisfied equations exactly matches the set of
+  // equations containing it (both parity families agree) and every
+  // unsatisfied syndrome carries the same XOR delta.
+  bool repair = false;
 };
 
 // Array-level configuration: which device backend to run on and how the
@@ -70,6 +93,18 @@ struct ArrayOptions {
   bool coalesce = true;           // merge adjacent same-disk accesses
   bool parallel_user_io = true;   // fan per-disk runs across the pool
   int transient_retry_limit = 3;  // engine retries per transfer
+  int64_t retry_backoff_base_ns = 20'000;  // engine retry backoff base
+  int64_t retry_deadline_ns = 0;  // per-transfer retry deadline (0 = off)
+  // Health-monitor escalation thresholds (see raid/health_monitor.h).
+  HealthPolicy health;
+  // When true, a failure that promotes a hot spare rebuilds on a
+  // background worker thread (rate-limited by rebuild_rate) while
+  // foreground I/O continues; when false, fail_disk() rebuilds
+  // synchronously before returning (the legacy behaviour).
+  bool background_rebuild = false;
+  // Background rebuild throttle in stripes/second; <= 0 = unthrottled.
+  double rebuild_rate_stripes_per_sec = 0.0;
+  double rebuild_burst_stripes = 8.0;
 };
 
 class Raid6Array : private WriteGate {
@@ -80,6 +115,7 @@ class Raid6Array : private WriteGate {
   Raid6Array(std::unique_ptr<codes::CodeLayout> layout, size_t element_size,
              int64_t stripes, unsigned threads = 0,
              obs::Registry* registry = nullptr, ArrayOptions options = {});
+  ~Raid6Array();
 
   const codes::CodeLayout& layout() const { return *layout_; }
   size_t element_size() const { return element_size_; }
@@ -102,21 +138,44 @@ class Raid6Array : private WriteGate {
   void fail_disk(int disk);
   void replace_disk(int disk);  // swap in a blank disk (still failed data!)
 
-  // Hot spares: blank standby disks. While spares remain, fail_disk()
-  // immediately swaps one in and rebuilds onto it — the array never stays
-  // degraded (a real controller's behaviour).
+  // Hot spares: blank standby disks. While spares remain, a declared
+  // failure (manual fail_disk() or a health-monitor escalation)
+  // immediately promotes one; the rebuild onto it runs synchronously
+  // (legacy default) or on the background worker
+  // (ArrayOptions::background_rebuild) — either way the array never
+  // stays degraded while spares last (a real controller's behaviour).
   void add_hot_spares(int count);
-  int hot_spares() const { return hot_spares_; }
-  // Reconstructs the contents of every replaced disk. Call after
-  // replace_disk; throws if more than two disks are unrecovered.
+  int hot_spares() const {
+    return hot_spares_.load(std::memory_order_relaxed);
+  }
+  // Reconstructs the contents of every replaced disk, synchronously
+  // (joins any background worker first). Call after replace_disk; throws
+  // if more than two disks are unrecovered.
   void rebuild();
+  // Blocks until no background rebuild worker is active. Returns true
+  // when every replaced disk has been fully reconstructed.
+  bool wait_for_rebuild();
+  bool rebuild_in_progress() const;
+  // Retunes the background rebuild throttle (stripes/second; <= 0 =
+  // unthrottled). Applies to the current pass too.
+  void set_rebuild_rate(double stripes_per_sec, double burst = 8.0);
+
+  // The health state machine watching this array's devices.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
 
   // Parity scrub: returns the number of stripes whose parities are
   // inconsistent with their data.
   int64_t scrub();
   // Like scrub(), but reports *which* stripes are inconsistent so a
-  // repair pass (or a metrics consumer) can act per stripe.
-  ScrubReport scrub_report();
+  // repair pass (or a metrics consumer) can act per stripe — and, with
+  // ScrubOptions::repair, localizes and rewrites single-element silent
+  // corruptions. Works on a degraded array (unverifiable equations are
+  // skipped and counted). Must not run concurrently with writes or an
+  // active rebuild: scrub chunks execute on the same pool that user
+  // batches fan out on, so taking stripe locks here could deadlock —
+  // quiesce first (wait_for_rebuild()).
+  ScrubReport scrub_report(ScrubOptions options = {});
 
   int failed_disk_count() const;
   const DiskHandle& disk(int d) const { return engine_.disk(d); }
@@ -161,6 +220,11 @@ class Raid6Array : private WriteGate {
   std::vector<int64_t> journal_open_stripes() const;
 
  private:
+  // How many times an I/O path re-plans around a disk that failed
+  // mid-operation before giving up. Each genuine failure consumes one
+  // attempt, so anything past the code's fault tolerance exits quickly.
+  static constexpr int kMaxFailoverAttempts = 4;
+
   // WriteGate: the engine admits every element write through here, so
   // injected power loss sees the same write stream the monolith produced.
   // (Defined with the rest of the crash machinery in array_journal.cc.)
@@ -175,9 +239,48 @@ class Raid6Array : private WriteGate {
                             size_t* src_begin, size_t* out_len);
 
   void ensure_online() const;
-  bool disk_degraded(int d) const {
-    return engine_.disk(d).failed() || needs_rebuild_[static_cast<size_t>(d)];
+  bool needs_rebuild(int d) const {
+    return needs_rebuild_[static_cast<size_t>(d)].load(
+        std::memory_order_acquire);
   }
+  bool disk_degraded(int d) const {
+    return engine_.disk(d).failed() || needs_rebuild(d);
+  }
+  // Per-stripe degradedness: a rebuilding disk serves stripes below its
+  // watermark normally and only counts as degraded above it — what lets
+  // foreground reads go back to the fast path behind the rebuild front.
+  bool disk_degraded_for_stripe(int d, int64_t stripe) const {
+    if (engine_.disk(d).failed()) return true;
+    return needs_rebuild(d) && stripe >= engine_.disk(d).readable_stripes();
+  }
+  // Degraded for ANY stripe in [first_stripe, last_stripe] — the
+  // watermark is monotonic, so checking the last stripe suffices.
+  bool disk_degraded_for_range(int d, int64_t last_stripe) const {
+    return disk_degraded_for_stripe(d, last_stripe);
+  }
+  std::mutex& stripe_lock(int64_t stripe) {
+    return stripe_mu_[static_cast<size_t>(stripe) % stripe_mu_.size()];
+  }
+
+  // Escalation handler (health-monitor callback): promotes a hot spare
+  // into the failed slot when one is available and starts/extends the
+  // background rebuild. Never rebuilds inline — it can run on a pool
+  // worker mid-batch.
+  void handle_disk_failure(int disk);
+  // Claims a spare (if any) and swaps a blank into `disk`'s slot with the
+  // watermark protocol (needs_rebuild -> watermark 0 -> replace). Returns
+  // true when a spare was promoted.
+  bool try_promote_spare(int disk);
+  // Spawns the background worker if idle (no-op when one is running —
+  // the worker rescans for new targets between passes).
+  void start_background_rebuild();
+  void background_rebuild_worker();
+  // One pass over the stripes for the given targets; returns false when
+  // the pass had to abort (crash / unrecoverable). Targets are re-scanned
+  // by the caller.
+  bool rebuild_pass(const std::vector<int>& targets);
+  // Marks targets whose watermark reached stripes_ fully rebuilt.
+  void finish_rebuilt_targets(const std::vector<int>& targets);
   // Degraded helper: reconstruct one whole stripe into `out` (all columns).
   void load_stripe_degraded(int64_t stripe, codes::Stripe& out);
   // Healthy-path RMW for the elements [g, stripe_end] of one stripe.
@@ -199,10 +302,36 @@ class Raid6Array : private WriteGate {
   ThreadPool pool_;
   ArrayMetrics metrics_;
   StripeIoEngine engine_;
-  // Disks replaced but not yet rebuilt (their contents are blank).
-  std::vector<bool> needs_rebuild_;
+  HealthMonitor health_;
+  ArrayOptions options_;
+  // Disks replaced but not yet rebuilt (their contents are blank above
+  // the watermark). Atomic: read on pool workers, flipped by promotion
+  // and the rebuild worker.
+  std::vector<std::atomic<bool>> needs_rebuild_;
 
-  int hot_spares_ = 0;
+  // Stripe-level write serialization: foreground writes, the background
+  // rebuild worker, and journal recovery each lock the stripe they
+  // mutate (sharded — collisions just serialize unrelated stripes).
+  // Engine pool tasks never take these, so there is no lock/pool cycle.
+  std::array<std::mutex, 64> stripe_mu_;
+
+  std::atomic<int> hot_spares_{0};
+  // Serializes spare promotion against rebuild completion, so a disk
+  // re-failing exactly as its rebuild finishes cannot interleave the
+  // needs_rebuild/watermark updates. Leaf lock: nothing is acquired
+  // under it.
+  std::mutex promote_mu_;
+
+  // Background rebuild worker: at most one thread, restarted on demand;
+  // promotions while a pass runs are picked up by the between-pass
+  // rescan under rebuild_mu_.
+  mutable std::mutex rebuild_mu_;
+  std::condition_variable rebuild_cv_;
+  bool rebuild_running_ = false;
+  std::thread rebuild_thread_;
+  std::atomic<bool> stop_rebuild_{false};
+  TokenBucket rebuild_throttle_;
+
   std::optional<WriteIntentJournal> journal_;
   // Atomics: rebuild writes flow through the thread pool.
   std::atomic<int64_t> crash_countdown_{-1};  // -1 = no injection armed

@@ -1,0 +1,213 @@
+// Parity scrub: verify every XOR equation of every stripe, tolerate
+// degraded arrays, and (in repair mode) localize and rewrite
+// single-element silent corruption.
+//
+// Localization uses both parity families as coordinates. A single
+// corrupted element with XOR delta D leaves exactly the equations that
+// contain it unsatisfied, each with syndrome D. The membership sets are
+// distinct per element (a row and a diagonal intersect in one cell;
+// parities own their equation), so "unsatisfied set == membership set,
+// all syndromes equal" pins the corruption to one element and D is the
+// repair patch. Anything else — multiple corruptions, mismatched
+// syndromes, a degraded stripe where equations had to be skipped — is
+// reported unrepairable rather than guessed at.
+//
+// Scrub takes NO stripe locks: its chunks run on the same pool user
+// writes fan out over, so blocking a pool worker on a stripe lock held
+// by a writer that is itself waiting for pool workers would deadlock.
+// Callers quiesce writes and rebuild first (see scrub_report() docs).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "codes/stripe.h"
+#include "obs/trace.h"
+#include "raid/raid6_array.h"
+#include "xorops/xor_region.h"
+
+namespace dcode::raid {
+
+using codes::CodeLayout;
+using codes::Element;
+using codes::Equation;
+using codes::Stripe;
+
+using ReadOp = StripeIoEngine::ReadOp;
+
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool all_zero(const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int64_t Raid6Array::scrub() {
+  return static_cast<int64_t>(scrub_report().inconsistent_stripes.size());
+}
+
+ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
+  ensure_online();
+  const CodeLayout& layout = *layout_;
+  const int64_t t0 = now_ns();
+  metrics_.scrubs->inc();
+  obs::Span span(obs::TraceLog::global(), "scrub",
+                 {{"stripes", stripes_}, {"repair", options.repair}});
+  ScrubReport report;
+  report.stripes_checked = stripes_;
+  const auto& equations = layout.equations();
+  std::mutex agg_mu;
+  pool_.parallel_for_chunked(
+      static_cast<size_t>(stripes_), [&](size_t begin, size_t end) {
+        Stripe s(layout, element_size_);
+        std::vector<uint8_t> syndrome(element_size_);
+        std::vector<uint8_t> delta(element_size_);
+        std::vector<ReadOp> rops;
+        std::vector<char> dead(static_cast<size_t>(layout.cols()));
+        std::vector<int> bad;
+        ScrubReport local;
+        for (size_t st = begin; st < end; ++st) {
+          const int64_t stripe = static_cast<int64_t>(st);
+          // Per-stripe retry: a disk can fail (or escalate through its
+          // health budget and get a spare promoted) while this stripe is
+          // being read — the engine surfaces that as DiskFailedError.
+          // Retry from scratch with a fresh dead set so the lost disk's
+          // equations are skipped; stripe-local tallies merge into the
+          // chunk report only on success, so a retry never double-counts.
+          for (int attempt = 0;; ++attempt) {
+            ScrubReport tally;
+            try {
+              bool any_dead = false;
+              rops.clear();
+              for (int c = 0; c < layout.cols(); ++c) {
+                const int pd = map_.physical_disk(stripe, c);
+                dead[static_cast<size_t>(c)] =
+                    disk_degraded_for_stripe(pd, stripe) ? 1 : 0;
+                if (dead[static_cast<size_t>(c)] != 0) {
+                  any_dead = true;
+                  continue;
+                }
+                for (int r = 0; r < layout.rows(); ++r) {
+                  rops.push_back({pd, stripe, r, s.at(r, c)});
+                }
+              }
+              engine_.read_batch(rops);
+
+              bad.clear();
+              bool deltas_agree = true;
+              for (size_t qi = 0; qi < equations.size(); ++qi) {
+                const Equation& eq = equations[qi];
+                bool skip = dead[static_cast<size_t>(eq.parity.col)] != 0;
+                for (const Element& src : eq.sources) {
+                  skip = skip || dead[static_cast<size_t>(src.col)] != 0;
+                }
+                if (skip) {
+                  ++tally.equations_skipped;
+                  continue;
+                }
+                ++tally.equations_checked;
+                std::memcpy(syndrome.data(), s.at(eq.parity), element_size_);
+                for (const Element& src : eq.sources) {
+                  xorops::xor_into(syndrome.data(), s.at(src), element_size_);
+                }
+                if (all_zero(syndrome.data(), element_size_)) continue;
+                if (bad.empty()) {
+                  std::memcpy(delta.data(), syndrome.data(), element_size_);
+                } else if (std::memcmp(delta.data(), syndrome.data(),
+                                       element_size_) != 0) {
+                  deltas_agree = false;
+                }
+                bad.push_back(static_cast<int>(qi));
+              }
+              if (!bad.empty()) {
+                tally.inconsistent_stripes.push_back(stripe);
+                if (options.repair) {
+                  if (any_dead || !deltas_agree) {
+                    // Skipped equations make the membership comparison
+                    // unsound; disagreeing deltas mean >1 corrupt element.
+                    ++tally.stripes_unrepairable;
+                  } else {
+                    // `bad` is ascending by construction and membership
+                    // lists are built in equation order, so set equality
+                    // is a straight vector compare.
+                    int hits = 0;
+                    Element culprit{};
+                    for (int c = 0; c < layout.cols() && hits < 2; ++c) {
+                      for (int r = 0; r < layout.rows() && hits < 2; ++r) {
+                        if (layout.equations_containing(r, c) == bad) {
+                          culprit = codes::make_element(r, c);
+                          ++hits;
+                        }
+                      }
+                    }
+                    if (hits != 1) {
+                      ++tally.stripes_unrepairable;
+                    } else {
+                      ++tally.elements_located;
+                      xorops::xor_into(s.at(culprit), delta.data(),
+                                       element_size_);
+                      engine_.write_element(
+                          map_.physical_disk(stripe, culprit.col), stripe,
+                          culprit.row, s.at(culprit));
+                      ++tally.elements_repaired;
+                    }
+                  }
+                }
+              }
+            } catch (const DiskFailedError&) {
+              if (attempt >= 4) throw;
+              continue;
+            }
+            local.equations_checked += tally.equations_checked;
+            local.equations_skipped += tally.equations_skipped;
+            local.elements_located += tally.elements_located;
+            local.elements_repaired += tally.elements_repaired;
+            local.stripes_unrepairable += tally.stripes_unrepairable;
+            local.inconsistent_stripes.insert(
+                local.inconsistent_stripes.end(),
+                tally.inconsistent_stripes.begin(),
+                tally.inconsistent_stripes.end());
+            break;
+          }
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        report.inconsistent_stripes.insert(report.inconsistent_stripes.end(),
+                                           local.inconsistent_stripes.begin(),
+                                           local.inconsistent_stripes.end());
+        report.equations_checked += local.equations_checked;
+        report.equations_skipped += local.equations_skipped;
+        report.elements_located += local.elements_located;
+        report.elements_repaired += local.elements_repaired;
+        report.stripes_unrepairable += local.stripes_unrepairable;
+      });
+  std::sort(report.inconsistent_stripes.begin(),
+            report.inconsistent_stripes.end());
+  metrics_.scrub_stripes_checked->inc(stripes_);
+  metrics_.scrub_stripes_inconsistent->inc(
+      static_cast<int64_t>(report.inconsistent_stripes.size()));
+  metrics_.scrub_equations_skipped->inc(report.equations_skipped);
+  metrics_.scrub_elements_located->inc(report.elements_located);
+  metrics_.scrub_elements_repaired->inc(report.elements_repaired);
+  metrics_.scrub_stripes_unrepairable->inc(report.stripes_unrepairable);
+  metrics_.scrub_latency_ns->observe(now_ns() - t0);
+  if (!report.inconsistent_stripes.empty()) {
+    span.note("scrub.inconsistent",
+              {{"count",
+                static_cast<int64_t>(report.inconsistent_stripes.size())},
+               {"repaired", report.elements_repaired},
+               {"unrepairable", report.stripes_unrepairable}});
+  }
+  return report;
+}
+
+}  // namespace dcode::raid

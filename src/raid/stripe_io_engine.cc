@@ -1,8 +1,11 @@
 #include "raid/stripe_io_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <thread>
 
+#include "obs/trace.h"
 #include "raid/journal.h"
 
 namespace dcode::raid {
@@ -13,6 +16,22 @@ namespace {
 // and each pool task's critical section bounded. FileDisk additionally
 // chunks at the syscall layer (IOV_MAX).
 constexpr size_t kMaxRunElements = 1024;
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// splitmix64: hashes the (seed, disk, attempt, serial) tuple into the
+// jitter fraction — stateless, so concurrent retry loops never contend
+// on a shared RNG and the same tuple always jitters the same way.
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
@@ -58,20 +77,63 @@ int StripeIoEngine::flush() {
   return flushed;
 }
 
+void StripeIoEngine::backoff_sleep(int disk, int attempt) const {
+  const int64_t base = options_.retry_backoff_base_ns;
+  if (base <= 0) return;
+  int64_t delay = base << std::min(attempt, 20);
+  delay = std::min(delay, std::max(base, options_.retry_backoff_max_ns));
+  // Jitter into [delay/2, delay) so synchronized retry loops desynchronize
+  // but the delay stays deterministic for a given (seed, disk, attempt,
+  // serial) tuple.
+  const uint64_t serial =
+      backoff_serial_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t h =
+      mix64(options_.backoff_seed ^ (static_cast<uint64_t>(disk) << 32) ^
+            (static_cast<uint64_t>(attempt) << 48) ^ serial);
+  const int64_t half = delay / 2;
+  if (half > 0) delay = half + static_cast<int64_t>(h % static_cast<uint64_t>(half));
+  if (metrics_ != nullptr) metrics_->engine_retry_backoff_ns->observe(delay);
+  std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+}
+
 IoResult StripeIoEngine::with_retries(
     FaultInjectingDevice& dev, const std::function<IoResult()>& io) const {
+  const int d = dev.id();
+  const int64_t t0 = now_ns();
   IoResult r = io();
-  for (int attempt = 0;
-       r.status == IoStatus::kTransient &&
-       attempt < options_.transient_retry_limit;
-       ++attempt) {
+  int attempt = 0;
+  while (r.status == IoStatus::kTransient) {
+    if (monitor_ != nullptr) monitor_->record_transient(d);
+    const bool out_of_attempts = attempt >= options_.transient_retry_limit;
+    const bool past_deadline = options_.retry_deadline_ns > 0 &&
+                               now_ns() - t0 >= options_.retry_deadline_ns;
+    if (out_of_attempts || past_deadline) {
+      // Retry budget exhausted: escalate to fail-stop, the way a
+      // controller offlines a drive that keeps erroring — but leave a
+      // telemetry trail, a silent fail-stop is indistinguishable from a
+      // pulled drive.
+      dev.fail();
+      if (metrics_ != nullptr) metrics_->engine_retry_exhausted->inc();
+      obs::Span span(obs::TraceLog::global(), "engine.retry_exhausted",
+                     {{"disk", d},
+                      {"attempts", attempt},
+                      {"reason", out_of_attempts ? "attempts" : "deadline"}});
+      if (monitor_ != nullptr) monitor_->report_fail_stop(d);
+      return IoResult::failed();
+    }
+    if (metrics_ != nullptr) metrics_->engine_transient_retries->inc();
+    backoff_sleep(d, attempt);
     r = io();
+    ++attempt;
   }
-  if (r.status == IoStatus::kTransient) {
-    // Retry budget exhausted: escalate to fail-stop, the way a
-    // controller offlines a drive that keeps erroring.
-    dev.fail();
-    r = IoResult::failed();
+  if (monitor_ != nullptr) {
+    if (r.status == IoStatus::kFailed) {
+      // The device fail-stopped on its own (injected or real): the
+      // monitor still owns the escalation decision.
+      monitor_->report_fail_stop(d);
+    } else if (r.ok()) {
+      monitor_->record_success(d, now_ns() - t0);
+    }
   }
   return r;
 }
@@ -79,6 +141,21 @@ IoResult StripeIoEngine::with_retries(
 void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
                               std::span<const size_t> idx) {
   DiskHandle& h = disk(d);
+  // Rebuild watermark: a promoted spare only holds valid data below its
+  // readable-stripe floor; a plan that reaches above it raced a failure
+  // and must re-plan degraded (same contract as a failed device).
+  const int64_t readable = h.readable_stripes();
+  if (readable != std::numeric_limits<int64_t>::max()) {
+    for (size_t k : idx) {
+      if (ops[k].stripe >= readable) throw DiskFailedError(d);
+    }
+  }
+  // An automatic spare promotion can swap the device between this guard
+  // and the reads below (or between the retries inside with_retries), in
+  // which case an op "succeeds" against the blank replacement and returns
+  // zeros. The generation check after the reads rejects anything that
+  // straddled a swap.
+  const uint64_t gen = h.faults().generation();
   size_t i = 0;
   while (i < idx.size()) {
     // Extend the run while device offsets stay adjacent.
@@ -104,7 +181,7 @@ void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
       }
       r = with_retries(h.faults(), [&] { return h.faults().readv(base, iov); });
     }
-    if (!r.ok()) throw DiskFailedError(d);
+    if (!r.ok() || h.faults().generation() != gen) throw DiskFailedError(d);
     h.account_reads(static_cast<int64_t>(run),
                     static_cast<int64_t>(run * element_size_));
     i += run;

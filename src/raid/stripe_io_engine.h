@@ -25,12 +25,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "raid/array_metrics.h"
 #include "raid/fault_injection.h"
+#include "raid/health_monitor.h"
 #include "util/thread_pool.h"
 
 namespace dcode::raid {
@@ -86,6 +88,34 @@ class DiskHandle {
   int64_t device_read_ops() const { return device_->read_ops(); }
   int64_t device_write_ops() const { return device_->write_ops(); }
 
+  // Rebuild watermark: stripes [0, readable_stripes) hold valid data on
+  // this device. A freshly promoted (blank) spare starts at 0 and the
+  // background rebuild worker advances the watermark stripe by stripe;
+  // engine reads at/above it throw DiskFailedError so a stale healthy
+  // plan can never silently return blank bytes. Writes are always
+  // allowed: below the watermark they update rebuilt data, above it they
+  // pre-populate elements the worker will overwrite consistently.
+  int64_t readable_stripes() const {
+    return readable_stripes_.load(std::memory_order_acquire);
+  }
+  void set_readable_stripes(int64_t stripes) {
+    readable_stripes_.store(stripes, std::memory_order_release);
+  }
+  // Advance `expected` -> `expected + 1`; fails (returns false) when the
+  // watermark moved underneath us — i.e. the device was re-promoted mid
+  // rebuild pass and the pass's progress no longer applies.
+  bool advance_readable_stripes(int64_t expected) {
+    return readable_stripes_.compare_exchange_strong(
+        expected, expected + 1, std::memory_order_acq_rel);
+  }
+  // `expected` -> fully readable; same CAS protection against a racing
+  // re-promotion that reset the watermark to 0.
+  bool mark_fully_readable(int64_t expected) {
+    return readable_stripes_.compare_exchange_strong(
+        expected, std::numeric_limits<int64_t>::max(),
+        std::memory_order_acq_rel);
+  }
+
   // Fault injection (decorator passthrough).
   FaultInjectingDevice& faults() { return *device_; }
   void corrupt(uint64_t offset, size_t len, Pcg32& rng) {
@@ -117,6 +147,8 @@ class DiskHandle {
   }
 
   std::unique_ptr<FaultInjectingDevice> device_;
+  std::atomic<int64_t> readable_stripes_{
+      std::numeric_limits<int64_t>::max()};
   obs::Counter* obs_reads_;
   obs::Counter* obs_writes_;
   mutable std::atomic<int64_t> reads_{0};
@@ -132,6 +164,17 @@ struct EngineOptions {
   bool coalesce = true;      // merge adjacent same-disk accesses
   bool parallel = true;      // fan per-disk runs across the pool
   int transient_retry_limit = 3;  // kTransient retries per transfer
+  // Exponential backoff between transient retries: sleep roughly
+  // base * 2^attempt (jittered into [delay/2, delay)), capped at max.
+  // base <= 0 disables the sleep (tests that count retries exactly).
+  int64_t retry_backoff_base_ns = 20'000;
+  int64_t retry_backoff_max_ns = 5'000'000;
+  // Per-transfer retry deadline: once this much wall time has been spent
+  // inside one transfer's retry loop, the next transient escalates even
+  // if attempts remain. 0 = attempts-only.
+  int64_t retry_deadline_ns = 0;
+  // Seeds the deterministic jitter stream (per disk x attempt x serial).
+  uint64_t backoff_seed = 0x5EEDBACCu;
 };
 
 class StripeIoEngine {
@@ -182,6 +225,11 @@ class StripeIoEngine {
   void fail_disk(int d) { disk(d).faults().fail(); }
   void replace_disk(int d);
 
+  // Routes per-op outcomes (success latency, transients, fail-stops) into
+  // the health monitor. Optional; set once right after construction,
+  // before any I/O.
+  void set_health_monitor(HealthMonitor* monitor) { monitor_ = monitor; }
+
   // Flushes every non-failed device (fsync for FileDisk). Returns the
   // number of devices flushed.
   int flush();
@@ -204,6 +252,7 @@ class StripeIoEngine {
                  std::span<const size_t> idx);
   IoResult with_retries(FaultInjectingDevice& dev,
                         const std::function<IoResult()>& io) const;
+  void backoff_sleep(int disk, int attempt) const;
 
   size_t disk_size_;
   size_t element_size_;
@@ -211,8 +260,11 @@ class StripeIoEngine {
   ThreadPool* pool_;
   ArrayMetrics* metrics_;
   WriteGate* gate_;
+  HealthMonitor* monitor_ = nullptr;
   Options options_;
   std::vector<std::unique_ptr<DiskHandle>> disks_;
+  // Distinguishes concurrent backoff jitter streams deterministically.
+  mutable std::atomic<uint64_t> backoff_serial_{0};
 };
 
 }  // namespace dcode::raid

@@ -80,7 +80,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   current_pool = this;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
@@ -88,7 +88,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    run_task(task);
+    run_task(task.work);
+    // Complete the dispatch ticket only now, after run_task recorded the
+    // chunk: the dispatching caller may wake on this notify, and stats()
+    // after parallel_for returns must already count every chunk.
+    if (task.batch != nullptr) {
+      std::lock_guard<std::mutex> batch_lock(task.batch->mu);
+      if (--task.batch->remaining == 0) task.batch->done_cv.notify_all();
+    }
   }
 }
 
@@ -148,17 +155,17 @@ void ThreadPool::parallel_for_chunked(
     for (size_t c = 0; c < nchunks; ++c) {
       size_t len = base + (c < extra ? 1 : 0);
       size_t end = begin + len;
-      tasks_.push([&batch, &fn, begin, end] {
-        std::exception_ptr err;
-        try {
-          fn(begin, end);
-        } catch (...) {
-          err = std::current_exception();
-        }
-        std::lock_guard<std::mutex> batch_lock(batch.mu);
-        if (err && !batch.first_error) batch.first_error = err;
-        if (--batch.remaining == 0) batch.done_cv.notify_all();
-      });
+      tasks_.push({[&batch, &fn, begin, end] {
+                     try {
+                       fn(begin, end);
+                     } catch (...) {
+                       std::lock_guard<std::mutex> batch_lock(batch.mu);
+                       if (!batch.first_error) {
+                         batch.first_error = std::current_exception();
+                       }
+                     }
+                   },
+                   &batch});
       begin = end;
     }
     DCODE_ASSERT(begin == count, "chunking must cover the whole range");

@@ -65,11 +65,20 @@ class ThreadPool {
  private:
   struct Batch;  // per-dispatch completion ticket (defined in the .cc)
 
+  // A queued chunk and the ticket it completes. The worker signals the
+  // ticket only after run_task's accounting lands, so a caller returning
+  // from parallel_for observes stats() that include every one of its
+  // chunks.
+  struct QueuedTask {
+    std::function<void()> work;
+    Batch* batch = nullptr;
+  };
+
   void worker_loop();
   void run_task(const std::function<void()>& task);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   mutable std::mutex mu_;
   std::condition_variable task_cv_;  // workers wait for tasks
   bool stopping_ = false;

@@ -1,0 +1,87 @@
+// TokenBucket: a blocking rate limiter for background work.
+//
+// The background rebuild worker acquires one token per stripe so repair
+// traffic can be throttled below foreground I/O. Tokens refill at a
+// configurable steady rate up to a burst cap; acquire() blocks until the
+// requested tokens accumulate and reports how long it waited (what the
+// throttle-wait histogram wants). A rate of zero (or less) disables the
+// throttle entirely — acquire() returns immediately.
+//
+// The clock is steady_clock and the state is mutex-protected: the rate
+// can be retuned (set_rate) while a worker is mid-acquire, and the new
+// rate applies from the next refill computation.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace dcode {
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(double tokens_per_sec = 0.0, double burst = 1.0)
+      : rate_(tokens_per_sec),
+        burst_(std::max(1.0, burst)),
+        tokens_(burst_),
+        last_(Clock::now()) {}
+
+  // Retune; takes effect on the next acquire. rate <= 0 disables.
+  void set_rate(double tokens_per_sec, double burst = 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill_locked(Clock::now());
+    rate_ = tokens_per_sec;
+    burst_ = std::max(1.0, burst);
+    tokens_ = std::min(tokens_, burst_);
+  }
+
+  double rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rate_;
+  }
+
+  // Blocks until `tokens` are available, consumes them, and returns the
+  // nanoseconds spent waiting (0 when unthrottled or tokens were ready).
+  int64_t acquire(double tokens = 1.0) {
+    const auto start = Clock::now();
+    for (;;) {
+      Clock::duration sleep_for{};
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (rate_ <= 0.0) return 0;
+        refill_locked(Clock::now());
+        if (tokens_ >= tokens) {
+          tokens_ -= tokens;
+          return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     Clock::now() - start)
+              .count();
+        }
+        const double deficit = tokens - tokens_;
+        sleep_for = std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(deficit / rate_));
+      }
+      std::this_thread::sleep_for(
+          std::max(sleep_for, Clock::duration(std::chrono::microseconds(50))));
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked(Clock::time_point now) {
+    if (rate_ > 0.0 && now > last_) {
+      const double dt = std::chrono::duration<double>(now - last_).count();
+      tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    }
+    last_ = now;
+  }
+
+  mutable std::mutex mu_;
+  double rate_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace dcode

@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -222,6 +223,29 @@ TEST(FaultInjectionTest, TransientErrorsDrainThenHeal) {
   EXPECT_EQ(disk.pending_transient_errors(), 0);
 }
 
+TEST(FaultInjectionTest, LatencyAppliesOnFaultPathsToo) {
+  // An erroring op still occupies the device for its service time: the
+  // injected latency must be paid before the fault decision, not only on
+  // the success path (the early-return ordering once skipped it).
+  FaultInjectingDevice disk(std::make_unique<MemDisk>(0, 1024));
+  constexpr int64_t kLatencyNs = 2'000'000;  // 2ms: far above timer noise
+  disk.set_latency_ns(kLatencyNs);
+  disk.inject_transient_errors(1);
+  std::vector<uint8_t> out(16);
+
+  auto timed = [&](IoStatus expect) {
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(disk.read(0, out).status, expect);
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  EXPECT_GE(timed(IoStatus::kTransient), kLatencyNs);
+  EXPECT_GE(timed(IoStatus::kOk), kLatencyNs);
+  disk.fail();
+  EXPECT_GE(timed(IoStatus::kFailed), kLatencyNs);
+}
+
 TEST(FaultInjectionTest, CorruptionIsSilent) {
   FaultInjectingDevice disk(std::make_unique<MemDisk>(0, 1024));
   auto data = random_bytes(64, 7);
@@ -255,11 +279,12 @@ TEST(DeviceFactoryTest, EnvSelectsTheBackend) {
 // invisibly; a longer one escalates to fail-stop.
 TEST(EngineRetryTest, TransientBurstHealsWithinBudgetElseEscalates) {
   static constexpr size_t kElem = 64;
-  auto make = [] {
+  auto make = [](obs::Registry& reg) {
     return std::make_unique<Raid6Array>(codes::make_layout("dcode", 5), kElem,
-                                        2, /*threads=*/1);
+                                        2, /*threads=*/1, &reg);
   };
-  auto array = make();
+  obs::Registry reg1;
+  auto array = make(reg1);
   auto data = random_bytes(static_cast<size_t>(array->capacity()), 9);
   array->write(0, data);
 
@@ -268,13 +293,24 @@ TEST(EngineRetryTest, TransientBurstHealsWithinBudgetElseEscalates) {
   array->read(0, out);
   EXPECT_EQ(out, data);
   EXPECT_FALSE(array->disk(1).failed());
+  EXPECT_EQ(reg1.counter("raid.engine.transient_retries").value(), 3);
+  EXPECT_EQ(reg1.counter("raid.engine.retry_exhausted").value(), 0);
 
-  array = make();
+  obs::Registry reg2;
+  array = make(reg2);
   array->write(0, data);
   array->disk(1).faults().inject_transient_errors(1000);
-  EXPECT_THROW(array->read(0, out), DiskFailedError);
+  // Retry exhaustion escalates the disk to fail-stop; the array fails
+  // over to the degraded path within the same read instead of surfacing
+  // DiskFailedError to the caller.
+  array->read(0, out);
+  EXPECT_EQ(out, data);
   EXPECT_TRUE(array->disk(1).failed());
-  // The array treats it like any failed disk: degraded reads still work.
+  EXPECT_EQ(array->health().state(1), DiskHealth::kFailed);
+  EXPECT_EQ(reg2.counter("raid.engine.retry_exhausted").value(), 1);
+  EXPECT_EQ(reg2.counter("raid.engine.transient_retries").value(), 3);
+  EXPECT_GE(reg2.counter("raid.failovers").value(), 1);
+  // Degraded reads keep working afterwards too.
   array->read(0, out);
   EXPECT_EQ(out, data);
 }

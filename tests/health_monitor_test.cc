@@ -1,0 +1,136 @@
+// HealthMonitor unit tests: the deterministic state machine that decides
+// when a noisy disk becomes a dead one, plus the array-level wiring that
+// escalates engine retry exhaustion through it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.h"
+#include "raid/health_monitor.h"
+
+namespace dcode::raid {
+namespace {
+
+TEST(HealthMonitor, StartsHealthyEverywhere) {
+  obs::Registry reg;
+  HealthMonitor mon(5, {}, reg);
+  EXPECT_EQ(mon.disk_count(), 5);
+  for (int d = 0; d < 5; ++d) {
+    EXPECT_EQ(mon.state(d), DiskHealth::kHealthy);
+    EXPECT_EQ(reg.gauge("raid.disk.health", {{"disk", std::to_string(d)}})
+                  .value(),
+              0);
+  }
+}
+
+TEST(HealthMonitor, TransientBudgetWalksHealthySuspectFailed) {
+  obs::Registry reg;
+  HealthPolicy policy;
+  policy.suspect_transients = 3;
+  policy.fail_transients = 6;
+  HealthMonitor mon(3, policy, reg);
+  std::vector<int> escalated;
+  mon.set_escalation_callback([&](int d) { escalated.push_back(d); });
+
+  mon.record_transient(1);
+  mon.record_transient(1);
+  EXPECT_EQ(mon.state(1), DiskHealth::kHealthy);
+  mon.record_transient(1);
+  EXPECT_EQ(mon.state(1), DiskHealth::kSuspect);
+  EXPECT_EQ(reg.counter("raid.health.suspects").value(), 1);
+  EXPECT_TRUE(escalated.empty());
+
+  mon.record_transient(1);
+  mon.record_transient(1);
+  mon.record_transient(1);
+  EXPECT_EQ(mon.state(1), DiskHealth::kFailed);
+  EXPECT_EQ(escalated, std::vector<int>({1}));
+  EXPECT_EQ(reg.counter("raid.health.escalations").value(), 1);
+  // Further noise on a failed disk is not a new episode.
+  mon.record_transient(1);
+  EXPECT_EQ(escalated.size(), 1u);
+  // Other disks are unaffected.
+  EXPECT_EQ(mon.state(0), DiskHealth::kHealthy);
+  EXPECT_EQ(reg.gauge("raid.disk.health", {{"disk", "1"}}).value(), 2);
+}
+
+TEST(HealthMonitor, WindowDecayForgivesOldTransients) {
+  obs::Registry reg;
+  HealthPolicy policy;
+  policy.window_ops = 8;
+  policy.suspect_transients = 4;
+  policy.fail_transients = 0;  // never fail on transients here
+  HealthMonitor mon(1, policy, reg);
+
+  mon.record_transient(0);
+  mon.record_transient(0);
+  mon.record_transient(0);
+  EXPECT_EQ(mon.state(0), DiskHealth::kHealthy);
+  EXPECT_EQ(mon.transients_in_window(0), 3);
+  // Clean traffic fills the window and halves the tally: the burst fades
+  // instead of accumulating toward suspect forever.
+  for (int i = 0; i < 8; ++i) mon.record_success(0, 1'000);
+  EXPECT_LT(mon.transients_in_window(0), 3);
+  mon.record_transient(0);
+  EXPECT_EQ(mon.state(0), DiskHealth::kHealthy);
+}
+
+TEST(HealthMonitor, SlowOpsEscalateWhenLatencyTrackingEnabled) {
+  obs::Registry reg;
+  HealthPolicy policy;
+  policy.slow_op_ns = 1'000'000;
+  policy.suspect_slow_ops = 2;
+  policy.fail_slow_ops = 4;
+  HealthMonitor mon(2, policy, reg);
+  int fired = 0;
+  mon.set_escalation_callback([&](int) { ++fired; });
+
+  mon.record_success(0, 500);  // fast: not slow
+  EXPECT_EQ(mon.slow_ops_in_window(0), 0);
+  mon.record_success(0, 2'000'000);
+  mon.record_success(0, 2'000'000);
+  EXPECT_EQ(mon.state(0), DiskHealth::kSuspect);
+  mon.record_success(0, 2'000'000);
+  mon.record_success(0, 2'000'000);
+  EXPECT_EQ(mon.state(0), DiskHealth::kFailed);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(HealthMonitor, FailStopFiresOncePerEpisodeAndRecoveryOpensANewOne) {
+  obs::Registry reg;
+  HealthMonitor mon(2, {}, reg);
+  int fired = 0;
+  mon.set_escalation_callback([&](int) { ++fired; });
+
+  mon.report_fail_stop(0);
+  mon.report_fail_stop(0);  // same episode
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(mon.state(0), DiskHealth::kFailed);
+
+  mon.mark_rebuilding(0);
+  EXPECT_EQ(mon.state(0), DiskHealth::kRebuilding);
+  // A rebuilding disk does not re-escalate on stale transient noise.
+  mon.record_transient(0);
+  EXPECT_EQ(fired, 1);
+
+  mon.mark_healthy(0);
+  EXPECT_EQ(mon.state(0), DiskHealth::kHealthy);
+  EXPECT_EQ(reg.counter("raid.health.recoveries").value(), 1);
+  EXPECT_EQ(mon.transients_in_window(0), 0);
+
+  mon.report_fail_stop(0);  // new episode after recovery
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(HealthMonitor, EscalationCallbackMayReenterTheMonitor) {
+  // The array's callback promotes a spare and calls mark_rebuilding from
+  // inside the escalation — must not deadlock on the per-disk lock.
+  obs::Registry reg;
+  HealthMonitor mon(1, {}, reg);
+  mon.set_escalation_callback([&](int d) { mon.mark_rebuilding(d); });
+  mon.report_fail_stop(0);
+  EXPECT_EQ(mon.state(0), DiskHealth::kRebuilding);
+}
+
+}  // namespace
+}  // namespace dcode::raid
