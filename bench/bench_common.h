@@ -113,8 +113,23 @@ class Telemetry {
 
   // Writes the document (no-op without --json). Call once at the end of
   // main, after the last add().
+  //
+  // Besides the rows the bench added explicitly, every non-empty
+  // histogram in the global registry contributes interpolated hist_p50 /
+  // hist_p99 rows (labelled with the histogram's name), so every bench's
+  // telemetry carries tail-latency percentiles without per-bench wiring.
   void finish() const {
     if (!enabled()) return;
+    std::vector<Row> rows = rows_;
+    for (const auto& m : obs::Registry::global().snapshot().metrics) {
+      if (m.kind != obs::MetricSnapshot::Kind::kHistogram || m.count == 0) {
+        continue;
+      }
+      obs::Labels labels = m.labels;
+      labels.emplace_back("hist", m.name);
+      rows.push_back(Row{"hist_p50", m.percentile(0.50), labels});
+      rows.push_back(Row{"hist_p99", m.percentile(0.99), labels});
+    }
     std::ofstream out(path_);
     if (!out) {
       std::cerr << bench_ << ": cannot open " << path_ << " for writing\n";
@@ -126,7 +141,7 @@ class Telemetry {
     w.key("version").value(static_cast<int64_t>(1));
     w.key("bench").value(bench_);
     w.key("results").begin_array();
-    for (const auto& r : rows_) {
+    for (const auto& r : rows) {
       w.begin_object();
       w.key("metric").value(r.metric);
       w.key("value").value(r.value);
@@ -141,7 +156,7 @@ class Telemetry {
     w.key("runtime_metrics").raw(reg.str());
     w.end_object();
     out << "\n";
-    std::cout << "\ntelemetry: wrote " << rows_.size() << " results to "
+    std::cout << "\ntelemetry: wrote " << rows.size() << " results to "
               << path_ << "\n";
   }
 

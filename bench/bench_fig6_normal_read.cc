@@ -10,6 +10,7 @@
 #include <chrono>
 
 #include "bench_common.h"
+#include "obs/flight_recorder.h"
 #include "raid/raid6_array.h"
 #include "sim/experiments.h"
 #include "util/rng.h"
@@ -200,6 +201,38 @@ int main(int argc, char** argv) {
   runtime.print(std::cout);
   std::cout << "\nbest engine/naive speedup: " << format_double(best_speedup, 2)
             << "x\n";
+
+  // Flight-recorder overhead: the always-on recorder must cost nothing
+  // measurable on the fast path (budget: <= 5%). Measured on the
+  // cheapest configuration (mem backend, zero service time) where the
+  // per-event cost is largest relative to the work; best-of-3 per arm to
+  // shave scheduler noise.
+  auto& recorder = obs::FlightRecorder::global();
+  auto best_of3 = [&](bool recorder_on) {
+    recorder.set_enabled(recorder_on);
+    double best = 0;
+    for (int i = 0; i < 3; ++i) {
+      best = std::max(
+          best, measure_runtime_read("mem", /*engine_mode=*/true, 0).mb_s);
+    }
+    return best;
+  };
+  const double rec_off_mb_s = best_of3(false);
+  const double rec_on_mb_s = best_of3(true);
+  recorder.set_enabled(true);
+  const double overhead_pct = (rec_off_mb_s / rec_on_mb_s - 1.0) * 100.0;
+  std::cout << "\n-- Runtime: flight-recorder overhead (engine path, mem, "
+               "0us svc) --\n";
+  std::cout << "recorder off: " << format_double(rec_off_mb_s, 0)
+            << " MB/s, on: " << format_double(rec_on_mb_s, 0)
+            << " MB/s, overhead: " << format_double(overhead_pct, 2) << "%\n";
+  obs::Labels rec_cell = {{"code", "dcode"}, {"p", "11"}, {"backend", "mem"}};
+  telemetry.add("flight_recorder_overhead_pct", overhead_pct, rec_cell);
+  for (bool on : {false, true}) {
+    obs::Labels l = rec_cell;
+    l.emplace_back("recorder", on ? "on" : "off");
+    telemetry.add("runtime_read_mb_s", on ? rec_on_mb_s : rec_off_mb_s, l);
+  }
   std::cout << "The engine rows are what the batched I/O layer buys: "
                "adjacent same-column elements merge into one vectored "
                "device op scattered straight into the user buffer (no "

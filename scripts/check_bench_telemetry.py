@@ -99,16 +99,27 @@ def validate(value, schema, path, errors):
 
 def check_bench_contract(doc, schema, errors):
     """Apply the x-bench-required contract: benches with a listed profile
-    must emit every required result metric and runtime metric name."""
+    must emit every required result metric (meeting any results_min_rows
+    row-count floor) and every required runtime metric name."""
     contract = schema.get("x-bench-required", {}).get(doc.get("bench"))
     if not isinstance(contract, dict):
         return
-    emitted = {r.get("metric") for r in doc.get("results", [])
-               if isinstance(r, dict)}
+    counts = {}
+    for r in doc.get("results", []):
+        if isinstance(r, dict):
+            counts[r.get("metric")] = counts.get(r.get("metric"), 0) + 1
     for metric in contract.get("results", []):
-        if metric not in emitted:
+        if metric not in counts:
             errors.append(f"$.results: bench {doc['bench']!r} must emit "
                           f"metric {metric!r} (x-bench-required)")
+    for metric, floor in contract.get("results_min_rows", {}).items():
+        if metric == "description":
+            continue
+        if counts.get(metric, 0) < floor:
+            errors.append(
+                f"$.results: bench {doc['bench']!r} must emit >= {floor} "
+                f"rows of {metric!r}, found {counts.get(metric, 0)} "
+                f"(x-bench-required results_min_rows)")
     runtime = {m.get("name")
                for m in doc.get("runtime_metrics", {}).get("metrics", [])
                if isinstance(m, dict)}

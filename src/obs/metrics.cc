@@ -63,10 +63,11 @@ Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
           "histogram bounds must be strictly ascending");
     }
   }
-  // Shard row: one cell per bucket, one overflow, one sum — rounded up to
-  // a cache line (8 int64s) so rows never share a line.
+  // Shard row: one cell per bucket, one overflow, one sum, one max —
+  // rounded up to a cache line (8 int64s) so rows never share a line.
   sum_slot_ = bounds_.size() + 1;
-  stride_ = ((sum_slot_ + 1) + 7) & ~size_t{7};
+  max_slot_ = sum_slot_ + 1;
+  stride_ = ((max_slot_ + 1) + 7) & ~size_t{7};
   size_t cells = stride_ * static_cast<size_t>(detail::shard_count());
   cells_.reset(new std::atomic<int64_t>[cells]);
   for (size_t i = 0; i < cells; ++i) {
@@ -100,6 +101,19 @@ int64_t Histogram::sum() const {
   return total;
 }
 
+int64_t Histogram::max_value() const {
+  int64_t mx = 0;
+  for (int s = 0; s < detail::shard_count(); ++s) {
+    mx = std::max(mx, cells_[static_cast<size_t>(s) * stride_ + max_slot_]
+                          .load(std::memory_order_relaxed));
+  }
+  return mx;
+}
+
+double Histogram::percentile(double q) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), q, max_value());
+}
+
 void Histogram::reset() {
   size_t cells = stride_ * static_cast<size_t>(detail::shard_count());
   for (size_t i = 0; i < cells; ++i) {
@@ -123,10 +137,79 @@ std::vector<int64_t> exponential_bounds(int64_t start, double factor,
   return out;
 }
 
+std::vector<int64_t> log_linear_bounds(int64_t min, int64_t max, int sub) {
+  std::vector<int64_t> out;
+  // Each octave [base, 2*base) is split into `sub` equal-width buckets;
+  // bounds are the buckets' inclusive upper edges. Widths double per
+  // octave, so relative resolution is constant (~1/sub) across the range.
+  for (int64_t base = min; base <= max; base *= 2) {
+    int64_t width = base / sub;
+    if (width < 1) width = 1;
+    for (int i = 1; i <= sub; ++i) {
+      int64_t b = base + i * width;
+      if (i == sub) b = base * 2;  // close the octave exactly
+      if (out.empty() || b > out.back()) out.push_back(b);
+    }
+  }
+  return out;
+}
+
 const std::vector<int64_t>& latency_bounds_ns() {
   static const std::vector<int64_t> bounds =
       exponential_bounds(1'000, 4.0, 13);  // 1us .. ~17s
   return bounds;
+}
+
+const std::vector<int64_t>& latency_fine_bounds_ns() {
+  static const std::vector<int64_t> bounds =
+      log_linear_bounds(1'024, int64_t{1} << 32, 8);  // ~1us .. ~4.3s
+  return bounds;
+}
+
+double percentile_from_buckets(const std::vector<int64_t>& bounds,
+                               const std::vector<int64_t>& counts, double q,
+                               int64_t max_value) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank target with interpolation: the q-quantile sits `target`
+  // observations into the cumulative distribution.
+  double target = q * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    double before = static_cast<double>(cum);
+    cum += counts[b];
+    if (static_cast<double>(cum) < target) continue;
+    double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+    double hi;
+    if (b < bounds.size()) {
+      hi = static_cast<double>(bounds[b]);
+    } else {
+      // Overflow bucket: stretch toward the exact max when known,
+      // otherwise pin to the last bound (the best the ladder can say).
+      hi = max_value > 0 ? static_cast<double>(max_value) : lo;
+    }
+    double frac = counts[b] > 0
+                      ? (target - before) / static_cast<double>(counts[b])
+                      : 1.0;
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    double v = lo + frac * (hi - lo);
+    // An exact max bounds every quantile from above.
+    if (max_value > 0 && v > static_cast<double>(max_value)) {
+      v = static_cast<double>(max_value);
+    }
+    return v;
+  }
+  return max_value > 0 ? static_cast<double>(max_value) : 0.0;
+}
+
+double MetricSnapshot::percentile(double q) const {
+  if (kind != Kind::kHistogram) return 0.0;
+  return percentile_from_buckets(bounds, bucket_counts, q, max);
 }
 
 const std::vector<int64_t>& size_bounds_bytes() {
@@ -255,6 +338,7 @@ RegistrySnapshot Registry::snapshot() const {
         m.bounds = e->histogram->bounds();
         m.bucket_counts = e->histogram->bucket_counts();
         m.sum = e->histogram->sum();
+        m.max = e->histogram->max_value();
         m.count = 0;
         for (int64_t c : m.bucket_counts) m.count += c;
         break;
@@ -373,6 +457,7 @@ void Registry::write_json(std::ostream& os) const {
       case MetricSnapshot::Kind::kHistogram:
         w.key("count").value(m.count);
         w.key("sum").value(m.sum);
+        w.key("max").value(m.max);
         w.key("buckets").begin_array();
         for (size_t b = 0; b < m.bucket_counts.size(); ++b) {
           w.begin_object();

@@ -20,12 +20,16 @@
 // Gauge      — settable int64 with add/sub and a CAS update_max, for
 //              levels and high-water marks.
 // Histogram  — fixed upper-bound buckets (inclusive, ascending) plus an
-//              overflow bucket and a running sum; latencies and sizes.
+//              overflow bucket, a running sum, and an exact maximum;
+//              latencies and sizes. percentile(q) interpolates within
+//              the owning bucket, so a fine (log-linear) ladder reads
+//              out p50/p99/p999 with sub-bucket resolution.
 // Registry   — names -> metrics, with optional key=value labels; hands
 //              out stable references and serializes the whole set as a
 //              text table, JSON, or Prometheus exposition format.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -111,6 +115,11 @@ class Histogram {
                 static_cast<size_t>(detail::this_thread_shard()) * stride_;
     row[b].fetch_add(1, std::memory_order_relaxed);
     row[sum_slot_].fetch_add(v, std::memory_order_relaxed);
+    auto& mx = row[max_slot_];
+    int64_t cur = mx.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !mx.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
 
   const std::vector<int64_t>& bounds() const { return bounds_; }
@@ -118,12 +127,25 @@ class Histogram {
   std::vector<int64_t> bucket_counts() const;
   int64_t count() const;
   int64_t sum() const;
+  // Largest observed value (exact, not bucket-rounded); 0 when empty.
+  // Observations are assumed non-negative (latencies, sizes).
+  int64_t max_value() const;
+  // Quantile estimate with linear interpolation inside the owning bucket;
+  // q in [0,1]. The overflow bucket interpolates toward max_value(), so
+  // p999/max stay meaningful even past the last bound. 0 when empty.
+  double percentile(double q) const;
   void reset();
 
  private:
   size_t bucket_for(int64_t v) const {
-    // Bounds are short (tens); a branch-predictable linear scan beats a
-    // binary search for the typical low buckets.
+    // Coarse ladders are short (tens): a branch-predictable linear scan
+    // beats binary search for the typical low buckets. Fine log-linear
+    // ladders (hundreds) go through the search.
+    if (bounds_.size() > 32) {
+      return static_cast<size_t>(
+          std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+          bounds_.begin());
+    }
     for (size_t i = 0; i < bounds_.size(); ++i) {
       if (v <= bounds_[i]) return i;
     }
@@ -132,6 +154,7 @@ class Histogram {
 
   std::vector<int64_t> bounds_;
   size_t sum_slot_;  // index of the sum cell within a shard row
+  size_t max_slot_;  // index of the max cell within a shard row
   size_t stride_;    // cells per shard row, cache-line multiple
   std::unique_ptr<std::atomic<int64_t>[]> cells_;
 };
@@ -139,10 +162,26 @@ class Histogram {
 // Convenience bucket ladders.
 std::vector<int64_t> exponential_bounds(int64_t start, double factor,
                                         int count);
+// Log-linear ladder: `sub` equal-width buckets per power-of-two octave
+// from `min` (inclusive) up past `max`. Relative quantile error is
+// bounded by ~1/sub anywhere in the range — the resolution the coarse
+// x4 ladder lacks at the tail.
+std::vector<int64_t> log_linear_bounds(int64_t min, int64_t max, int sub);
 // 1us .. ~17s in x4 steps — the default latency ladder (nanoseconds).
 const std::vector<int64_t>& latency_bounds_ns();
+// 1us .. ~4.3s, 8 sub-buckets per octave (~180 buckets) — the fine
+// latency ladder behind p50/p90/p99/p999 extraction (nanoseconds).
+const std::vector<int64_t>& latency_fine_bounds_ns();
 // 512B .. 16MiB in x4 steps — the default size ladder (bytes).
 const std::vector<int64_t>& size_bounds_bytes();
+
+// Quantile from a (bounds, bucket_counts) pair as found in a
+// MetricSnapshot; linear interpolation within the owning bucket. The
+// overflow bucket (counts.size() == bounds.size() + 1) interpolates
+// between the last bound and `max_value` when a positive one is given.
+double percentile_from_buckets(const std::vector<int64_t>& bounds,
+                               const std::vector<int64_t>& counts, double q,
+                               int64_t max_value = 0);
 
 // A point-in-time copy of one metric, produced by Registry::snapshot().
 struct MetricSnapshot {
@@ -157,6 +196,10 @@ struct MetricSnapshot {
   std::vector<int64_t> bucket_counts;  // bounds.size() + 1 (overflow last)
   int64_t count = 0;
   int64_t sum = 0;
+  int64_t max = 0;  // exact largest observation
+
+  // Histogram quantile via percentile_from_buckets; 0 for other kinds.
+  double percentile(double q) const;
 };
 
 struct RegistrySnapshot {

@@ -1,0 +1,24 @@
+#include "obs/op_context.h"
+
+#include <atomic>
+
+namespace dcode::obs {
+
+namespace {
+thread_local OpContext* tl_current_op = nullptr;
+}  // namespace
+
+uint64_t next_op_id() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+OpContext* current_op_context() { return tl_current_op; }
+
+OpContextScope::OpContextScope(OpContext* ctx) : prev_(tl_current_op) {
+  tl_current_op = ctx;
+}
+
+OpContextScope::~OpContextScope() { tl_current_op = prev_; }
+
+}  // namespace dcode::obs

@@ -1,0 +1,54 @@
+// Per-operation identity threaded through the layers (see
+// docs/observability.md).
+//
+// A Raid6Array public op (read/write) mints an OpContext — a 64-bit op
+// id, the op's root span id, and its enqueue/start timestamps — and
+// binds it to the calling thread for the op's duration. Lower layers
+// (StripeIoEngine dispatch, retries, the flight recorder) pick it up via
+// current_op_context() and stamp the id on everything they emit, so the
+// JSONL spans of one op form a connected causal tree and a flight-
+// recorder dump can be grepped by op.
+//
+// Callers that model queueing (the open-loop load harness) bind their
+// own context with enqueue_ns set to the op's *intended* arrival time
+// before calling into the array; the array adopts an already-bound
+// context instead of minting a new one, so measured spans include the
+// queueing the harness wants to observe (no coordinated omission).
+//
+// The binding is a plain thread_local pointer: binding costs two stores,
+// reading costs one load, and nothing here allocates.
+#pragma once
+
+#include <cstdint>
+
+namespace dcode::obs {
+
+struct OpContext {
+  uint64_t op_id = 0;      // process-unique, from next_op_id()
+  uint64_t span_id = 0;    // the op's root trace span (0 = tracing off)
+  int64_t enqueue_ns = 0;  // intended arrival (steady clock); open-loop
+                           // harnesses set this before submitting
+  int64_t start_ns = 0;    // when the array actually began the op
+};
+
+// Process-unique op ids, starting at 1.
+uint64_t next_op_id();
+
+// The context bound to the calling thread, or nullptr.
+OpContext* current_op_context();
+
+// RAII binder. Restores the previous binding on destruction so nested
+// ops (a rebuild triggered inside a write's failover, tests driving an
+// array from inside another op) unwind correctly.
+class OpContextScope {
+ public:
+  explicit OpContextScope(OpContext* ctx);
+  ~OpContextScope();
+  OpContextScope(const OpContextScope&) = delete;
+  OpContextScope& operator=(const OpContextScope&) = delete;
+
+ private:
+  OpContext* prev_;
+};
+
+}  // namespace dcode::obs

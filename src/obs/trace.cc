@@ -1,8 +1,11 @@
 #include "obs/trace.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,8 +13,7 @@
 
 namespace dcode::obs {
 
-namespace {
-
+namespace detail {
 // Small dense per-thread ids (lane numbers for timeline viewers);
 // std::thread::id stringifies unhelpfully.
 int this_thread_trace_id() {
@@ -19,6 +21,11 @@ int this_thread_trace_id() {
   thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
+}  // namespace detail
+
+namespace {
+
+using detail::this_thread_trace_id;
 
 // The calling thread's innermost live span (0 = none).
 thread_local uint64_t current_span_id = 0;
@@ -65,22 +72,87 @@ TraceLog& TraceLog::global() {
   return *log;
 }
 
+// The log whose buffer the crash hooks flush; set by the first open().
+// A plain pointer (not the global() accessor) so the async-signal path
+// never runs a function-local-static guard.
+namespace {
+
+std::atomic<TraceLog*> g_crash_flush_target{nullptr};
+
+// Fatal signals whose handlers flush the trace buffer before re-raising.
+constexpr int kCrashSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGILL, SIGFPE,
+                                 SIGTERM, SIGINT};
+struct sigaction g_old_actions[sizeof(kCrashSignals) / sizeof(int)];
+
+void crash_signal_handler(int sig) {
+  if (TraceLog* log = g_crash_flush_target.load(std::memory_order_acquire)) {
+    log->panic_flush();
+  }
+  // Restore the previous disposition and re-raise, so the process still
+  // dies (or core-dumps) exactly as it would have without us.
+  for (size_t i = 0; i < sizeof(kCrashSignals) / sizeof(int); ++i) {
+    if (kCrashSignals[i] == sig) {
+      sigaction(sig, &g_old_actions[i], nullptr);
+      break;
+    }
+  }
+  raise(sig);
+}
+
+void atexit_flush() {
+  if (TraceLog* log = g_crash_flush_target.load(std::memory_order_acquire)) {
+    log->flush();
+  }
+}
+
+}  // namespace
+
+void TraceLog::install_crash_hooks() {
+  static bool installed = [] {
+    std::atexit(atexit_flush);
+    struct sigaction sa;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sa.sa_handler = crash_signal_handler;
+    for (size_t i = 0; i < sizeof(kCrashSignals) / sizeof(int); ++i) {
+      sigaction(kCrashSignals[i], &sa, &g_old_actions[i]);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
 void TraceLog::open(const std::string& path) {
-  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
-  if (!*file) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
     throw std::runtime_error("cannot open trace log '" + path + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  owned_ = std::move(file);
-  out_ = owned_.get();
-  epoch_ns_ = steady_ns();
-  events_written_.store(0, std::memory_order_relaxed);
-  enabled_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0) {
+      flush_locked();
+      ::close(fd_);
+    }
+    fd_ = fd;
+    out_ = nullptr;
+    buf_.clear();
+    buf_.reserve(kFlushBytes + 4096);
+    epoch_ns_ = steady_ns();
+    events_written_.store(0, std::memory_order_relaxed);
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+  g_crash_flush_target.store(this, std::memory_order_release);
+  install_crash_hooks();
 }
 
 void TraceLog::attach(std::ostream* os) {
   std::lock_guard<std::mutex> lock(mu_);
-  owned_.reset();
+  if (fd_ >= 0) {
+    flush_locked();
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
   out_ = os;
   epoch_ns_ = steady_ns();
   events_written_.store(0, std::memory_order_relaxed);
@@ -90,30 +162,85 @@ void TraceLog::attach(std::ostream* os) {
 void TraceLog::close() {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
+  flush_locked();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
   if (out_ != nullptr) out_->flush();
-  owned_.reset();
   out_ = nullptr;
+}
+
+void TraceLog::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void TraceLog::flush_locked() {
+  if (fd_ >= 0 && !buf_.empty()) {
+    const char* p = buf_.data();
+    size_t left = buf_.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n <= 0) break;  // best effort; the sink is diagnostics, not data
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    buf_.clear();
+  }
+  if (out_ != nullptr) out_->flush();
+}
+
+void TraceLog::panic_flush() noexcept {
+  // Called from a signal handler: only write(2) (async-signal-safe) and a
+  // try_lock. If the crashing thread holds mu_ mid-append we skip rather
+  // than deadlock or read a string being resized — best effort by design.
+  if (!mu_.try_lock()) return;
+  if (fd_ >= 0 && !buf_.empty()) {
+    ssize_t ignored = ::write(fd_, buf_.data(), buf_.size());
+    (void)ignored;
+    buf_.clear();
+  }
+  mu_.unlock();
 }
 
 int64_t TraceLog::now_ns() const { return steady_ns() - epoch_ns_; }
 
 void TraceLog::write_line(const std::string& line) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (out_ == nullptr) return;  // closed between the enabled check and here
-  *out_ << line << '\n';
-  out_->flush();  // a trace that stops at a crash is the point
+  if (fd_ >= 0) {
+    // Buffered: per-line write(2)+flush costs more than the traced work
+    // at device-event granularity. Crash durability comes from the
+    // atexit/signal hooks, not from flushing every line.
+    buf_ += line;
+    buf_ += '\n';
+    if (buf_.size() >= kFlushBytes) flush_locked();
+  } else if (out_ != nullptr) {
+    // Attached streams are test fixtures: flush through so the test can
+    // parse the stream right after the traced call returns.
+    *out_ << line << '\n';
+    out_->flush();
+  } else {
+    return;  // closed between the enabled check and here
+  }
   events_written_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void TraceLog::event(std::string_view name, TraceAttrs attrs) {
+  event_in_span(0, name, attrs);
+}
+
+void TraceLog::event_in_span(uint64_t span, std::string_view name,
+                             TraceAttrs attrs) {
   if (!enabled()) return;
+  if (span == 0) span = current_span_id;
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
   w.key("ts_ns").value(now_ns());
   w.key("tid").value(this_thread_trace_id());
   w.key("type").value("event");
-  if (current_span_id != 0) w.key("span").value(current_span_id);
+  if (span != 0) w.key("span").value(span);
   w.key("name").value(name);
   write_attrs(w, attrs);
   w.end_object();
@@ -151,36 +278,34 @@ void TraceLog::emit_span_end(uint64_t id, std::string_view name,
   write_line(os.str());
 }
 
-Span::Span(TraceLog& log, std::string_view name, TraceAttrs attrs) {
+Span::Span(TraceLog& log, std::string_view name, TraceAttrs attrs)
+    : Span(log, name, 0, attrs) {}
+
+Span::Span(TraceLog& log, std::string_view name, uint64_t parent,
+           TraceAttrs attrs) {
   if (!log.enabled()) return;
   log_ = &log;
   id_ = next_span_id();
-  parent_ = current_span_id;
+  if (parent == 0) parent = current_span_id;
+  // The explicit parent wins for the emitted tree; the thread-local
+  // nesting state still restores to whatever was live on *this* thread,
+  // so implicit child spans opened inside chain correctly.
+  prev_current_ = current_span_id;
   current_span_id = id_;
   name_ = name;
   start_ns_ = steady_ns();
-  log.emit_span_begin(id_, parent_, name_, attrs);
+  log.emit_span_begin(id_, parent, name_, attrs);
 }
 
 Span::~Span() {
   if (id_ == 0) return;
-  current_span_id = parent_;
+  current_span_id = prev_current_;
   log_->emit_span_end(id_, name_, steady_ns() - start_ns_);
 }
 
 void Span::note(std::string_view name, TraceAttrs attrs) {
-  if (id_ == 0 || !log_->enabled()) return;
-  std::ostringstream os;
-  JsonWriter w(os);
-  w.begin_object();
-  w.key("ts_ns").value(log_->now_ns());
-  w.key("tid").value(this_thread_trace_id());
-  w.key("type").value("event");
-  w.key("span").value(id_);
-  w.key("name").value(name);
-  write_attrs(w, attrs);
-  w.end_object();
-  log_->write_line(os.str());
+  if (id_ == 0) return;
+  log_->event_in_span(id_, name, attrs);
 }
 
 }  // namespace dcode::obs

@@ -19,15 +19,21 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
-#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 
 namespace dcode::obs {
+
+namespace detail {
+// Small dense per-thread id used as the `tid` in trace lines and flight-
+// recorder events, so both artifacts number lanes identically.
+int this_thread_trace_id();
+}  // namespace detail
 
 // One key/value attribute on an event or span.
 struct TraceAttr {
@@ -71,17 +77,34 @@ class TraceLog {
   static TraceLog& global();
 
   // Start writing JSON Lines to `path` (truncates). Throws on failure.
+  // File output is buffered (flushed every ~64KiB and at close); the
+  // first open() installs atexit and fatal-signal hooks that flush the
+  // buffer with raw write(2) calls, so a crashing process — a chaos
+  // campaign leg, an assert — keeps the tail of its trace.
   void open(const std::string& path);
-  // Start writing to a caller-owned stream (tests). The stream must
-  // outlive the log or the next close()/attach().
+  // Start writing to a caller-owned stream (tests; every line is flushed
+  // through immediately). The stream must outlive the log or the next
+  // close()/attach().
   void attach(std::ostream* os);
   void close();
+  // Drain the buffer to the sink. Called automatically at close/atexit.
+  void flush();
+  // Signal-handler flush path: try-locks and write(2)s whatever is
+  // buffered. Public so the installed crash hooks can reach it; not for
+  // general use.
+  void panic_flush() noexcept;
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Point event, attributed to the calling thread's current span (0 if
   // none). No-op when disabled.
   void event(std::string_view name, TraceAttrs attrs = {});
+
+  // Point event attributed to an explicit span id — how pool workers tag
+  // device-level events onto the dispatching op's span from another
+  // thread. span 0 falls back to the calling thread's current span.
+  void event_in_span(uint64_t span, std::string_view name,
+                     TraceAttrs attrs = {});
 
   // Number of events written since open/attach (tests).
   int64_t events_written() const {
@@ -96,11 +119,18 @@ class TraceLog {
                        TraceAttrs attrs);
   void emit_span_end(uint64_t id, std::string_view name, int64_t dur_ns);
   void write_line(const std::string& line);
+  void flush_locked();
+  static void install_crash_hooks();
+
+  static constexpr size_t kFlushBytes = 64 * 1024;
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
-  std::unique_ptr<std::ostream> owned_;  // when open(path) was used
-  std::ostream* out_ = nullptr;
+  int fd_ = -1;              // when open(path) was used; raw fd so the
+                             // crash path can flush with async-signal-safe
+                             // write(2) instead of iostream machinery
+  std::string buf_;          // pending lines for the fd sink
+  std::ostream* out_ = nullptr;  // when attach() was used
   int64_t epoch_ns_ = 0;
   std::atomic<int64_t> events_written_{0};
 };
@@ -111,6 +141,13 @@ class TraceLog {
 class Span {
  public:
   Span(TraceLog& log, std::string_view name, TraceAttrs attrs = {});
+  // Explicit-parent form: ties this span under `parent` (e.g. an op's
+  // root span id carried in an OpContext) regardless of which thread it
+  // runs on — the glue that keeps an op's causal tree connected across
+  // the engine's pool fan-out. parent 0 falls back to the calling
+  // thread's current span (i.e. behaves like the implicit form).
+  Span(TraceLog& log, std::string_view name, uint64_t parent,
+       TraceAttrs attrs = {});
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -123,8 +160,10 @@ class Span {
 
  private:
   TraceLog* log_ = nullptr;
-  uint64_t id_ = 0;      // 0 = span is disabled (log was off at creation)
-  uint64_t parent_ = 0;  // restored as the thread's current span on exit
+  uint64_t id_ = 0;  // 0 = span is disabled (log was off at creation)
+  uint64_t prev_current_ = 0;  // this thread's current span on entry,
+                               // restored on exit (may differ from the
+                               // emitted parent in the explicit form)
   int64_t start_ns_ = 0;
   std::string name_;
 };

@@ -10,10 +10,14 @@
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 
 #include "codes/encoder.h"
 #include "codes/stripe.h"
+#include "obs/flight_recorder.h"
+#include "obs/op_context.h"
 #include "obs/trace.h"
 #include "raid/recovery.h"
 #include "xorops/xor_region.h"
@@ -48,6 +52,87 @@ class LatencyTimer {
  private:
   obs::Histogram* h_;
   int64_t t0_;
+};
+
+// Per-op envelope for read()/write(): binds an obs::OpContext to the
+// calling thread (adopting one already bound by the caller — the load
+// harness binds its own with enqueue_ns set to the op's intended
+// arrival), opens the op's root trace span, stamps begin/end events into
+// the flight recorder, and on scope exit (including unwinds) observes
+// latency into both the coarse and the fine histograms and runs the
+// slow-op watchdog.
+class OpGuard {
+ public:
+  OpGuard(bool is_write, int64_t offset, int64_t bytes, bool degraded,
+          ArrayMetrics& metrics, const ArrayOptions& opts)
+      : is_write_(is_write), metrics_(metrics), opts_(opts) {
+    ctx_ = obs::current_op_context();
+    if (ctx_ == nullptr) {
+      local_.op_id = obs::next_op_id();
+      local_.enqueue_ns = now_ns();
+      ctx_ = &local_;
+      scope_.emplace(&local_);
+    }
+    ctx_->start_ns = now_ns();
+    if (auto& log = obs::TraceLog::global(); log.enabled()) {
+      obs::TraceAttrs attrs = {
+          {"op", ctx_->op_id},
+          {"offset", offset},
+          {"bytes", bytes},
+          {"degraded", degraded},
+          {"queue_ns", ctx_->start_ns - ctx_->enqueue_ns}};
+      span_ = std::make_unique<obs::Span>(
+          log, is_write ? "array.write" : "array.read", uint64_t{0}, attrs);
+      ctx_->span_id = span_->id();
+    }
+    obs::FlightRecorder::global().record(
+        is_write ? obs::FlightEventKind::kWriteBegin
+                 : obs::FlightEventKind::kReadBegin,
+        ctx_->op_id, -1, offset, bytes);
+  }
+
+  ~OpGuard() {
+    // Latency from the *intended* arrival when the caller provided one:
+    // an op that sat behind a queue was slow from the client's point of
+    // view no matter how fast the array served it once started.
+    const int64_t end = now_ns();
+    const int64_t lat =
+        end - (ctx_->enqueue_ns > 0 ? ctx_->enqueue_ns : ctx_->start_ns);
+    (is_write_ ? metrics_.write_latency_ns : metrics_.read_latency_ns)
+        ->observe(lat);
+    (is_write_ ? metrics_.write_latency_fine_ns
+               : metrics_.read_latency_fine_ns)
+        ->observe(lat);
+    obs::FlightRecorder::global().record(
+        is_write_ ? obs::FlightEventKind::kWriteEnd
+                  : obs::FlightEventKind::kReadEnd,
+        ctx_->op_id, -1, lat, 0);
+    if (opts_.slow_op_threshold_ns > 0 && lat >= opts_.slow_op_threshold_ns) {
+      metrics_.slow_ops->inc();
+      obs::FlightRecorder::global().record(obs::FlightEventKind::kSlowOp,
+                                           ctx_->op_id, -1, lat,
+                                           opts_.slow_op_threshold_ns);
+      if (span_ != nullptr) {
+        span_->note("array.slow_op",
+                    {{"latency_ns", lat},
+                     {"threshold_ns", opts_.slow_op_threshold_ns}});
+      }
+      obs::FlightRecorder::global().request_dump("slow_op");
+    }
+  }
+
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  bool is_write_;
+  ArrayMetrics& metrics_;
+  const ArrayOptions& opts_;
+  obs::OpContext local_{};
+  obs::OpContext* ctx_ = nullptr;
+  std::optional<obs::OpContextScope> scope_;
+  std::unique_ptr<obs::Span> span_;  // destroyed after ~OpGuard's body,
+                                     // so slow-op notes land inside it
 };
 
 size_t checked_disk_size(const CodeLayout& layout, size_t element_size,
@@ -103,6 +188,9 @@ Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
                         options_.rebuild_burst_stripes) {
   engine_.set_health_monitor(&health_);
   health_.set_escalation_callback([this](int d) { handle_disk_failure(d); });
+  if (!options_.flight_dump_path.empty()) {
+    obs::FlightRecorder::global().set_dump_path(options_.flight_dump_path);
+  }
 }
 
 Raid6Array::~Raid6Array() {
@@ -143,6 +231,10 @@ void Raid6Array::fail_disk(int disk) {
 void Raid6Array::handle_disk_failure(int disk) {
   metrics_.disk_failures[static_cast<size_t>(disk)]->inc();
   metrics_.disks_failed->add(1);
+  // The moments before an escalation are exactly what a post-mortem
+  // wants: dump the flight rings before the promotion/rebuild machinery
+  // floods them with recovery traffic.
+  obs::FlightRecorder::global().request_dump("disk_failure");
   if (!engine_.disk(disk).failed()) engine_.fail_disk(disk);
   if (try_promote_spare(disk) && options_.background_rebuild &&
       !crashed_.load(std::memory_order_relaxed)) {
@@ -332,7 +424,8 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
 
   bool degraded = false;
   for (int d = 0; d < layout.cols(); ++d) degraded |= disk_degraded(d);
-  LatencyTimer timer(metrics_.write_latency_ns);
+  OpGuard op(/*is_write=*/true, offset, static_cast<int64_t>(data.size()),
+             degraded, metrics_, options_);
   (degraded ? metrics_.degraded_writes : metrics_.writes)->inc();
   metrics_.bytes_written->inc(static_cast<int64_t>(data.size()));
   metrics_.write_bytes->observe(static_cast<int64_t>(data.size()));
@@ -434,7 +527,8 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
     return failed;
   };
   std::vector<int> failed = collect_failed();
-  LatencyTimer timer(metrics_.read_latency_ns);
+  OpGuard op(/*is_write=*/false, offset, static_cast<int64_t>(out.size()),
+             !failed.empty(), metrics_, options_);
   (failed.empty() ? metrics_.reads : metrics_.degraded_reads)->inc();
   metrics_.bytes_read->inc(static_cast<int64_t>(out.size()));
   metrics_.read_bytes->observe(static_cast<int64_t>(out.size()));

@@ -105,6 +105,15 @@ struct ArrayOptions {
   // Background rebuild throttle in stripes/second; <= 0 = unthrottled.
   double rebuild_rate_stripes_per_sec = 0.0;
   double rebuild_burst_stripes = 8.0;
+  // Slow-op watchdog: a read/write whose wall time reaches this threshold
+  // bumps raid.slow_ops, emits a trace event, and asks the global
+  // FlightRecorder for a dump (rate-limited; written only when a dump
+  // path is configured). 0 disables the watchdog.
+  int64_t slow_op_threshold_ns = 0;
+  // Convenience: non-empty sets the global FlightRecorder's auto-dump
+  // path at construction (same effect as DCODE_FLIGHT_DUMP; the recorder
+  // is process-wide, so the last array to set this wins).
+  std::string flight_dump_path;
 };
 
 class Raid6Array : private WriteGate {

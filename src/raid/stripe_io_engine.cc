@@ -5,6 +5,8 @@
 #include <functional>
 #include <thread>
 
+#include "obs/flight_recorder.h"
+#include "obs/op_context.h"
 #include "obs/trace.h"
 #include "raid/journal.h"
 
@@ -97,13 +99,17 @@ void StripeIoEngine::backoff_sleep(int disk, int attempt) const {
 }
 
 IoResult StripeIoEngine::with_retries(
-    FaultInjectingDevice& dev, const std::function<IoResult()>& io) const {
+    FaultInjectingDevice& dev, uint64_t op_id,
+    const std::function<IoResult()>& io) const {
   const int d = dev.id();
   const int64_t t0 = now_ns();
   IoResult r = io();
   int attempt = 0;
   while (r.status == IoStatus::kTransient) {
     if (monitor_ != nullptr) monitor_->record_transient(d);
+    obs::FlightRecorder::global().record(obs::FlightEventKind::kRetry, op_id,
+                                         d, attempt,
+                                         static_cast<int64_t>(r.status));
     const bool out_of_attempts = attempt >= options_.transient_retry_limit;
     const bool past_deadline = options_.retry_deadline_ns > 0 &&
                                now_ns() - t0 >= options_.retry_deadline_ns;
@@ -114,6 +120,8 @@ IoResult StripeIoEngine::with_retries(
       // pulled drive.
       dev.fail();
       if (metrics_ != nullptr) metrics_->engine_retry_exhausted->inc();
+      obs::FlightRecorder::global().record(obs::FlightEventKind::kFailStop,
+                                           op_id, d, attempt, 0);
       obs::Span span(obs::TraceLog::global(), "engine.retry_exhausted",
                      {{"disk", d},
                       {"attempts", attempt},
@@ -139,7 +147,8 @@ IoResult StripeIoEngine::with_retries(
 }
 
 void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
-                              std::span<const size_t> idx) {
+                              std::span<const size_t> idx,
+                              uint64_t trace_span, uint64_t op_id) {
   DiskHandle& h = disk(d);
   // Rebuild watermark: a promoted spare only holds valid data below its
   // readable-stripe floor; a plan that reaches above it raced a failure
@@ -170,7 +179,7 @@ void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
     }
     IoResult r;
     if (run == 1) {
-      r = with_retries(h.faults(), [&] {
+      r = with_retries(h.faults(), op_id, [&] {
         return h.faults().read(base,
                                {ops[idx[i]].dst, element_size_});
       });
@@ -179,17 +188,31 @@ void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
       for (size_t k = 0; k < run; ++k) {
         iov[k] = IoVec{ops[idx[i + k]].dst, element_size_};
       }
-      r = with_retries(h.faults(), [&] { return h.faults().readv(base, iov); });
+      r = with_retries(h.faults(), op_id,
+                       [&] { return h.faults().readv(base, iov); });
     }
     if (!r.ok() || h.faults().generation() != gen) throw DiskFailedError(d);
     h.account_reads(static_cast<int64_t>(run),
                     static_cast<int64_t>(run * element_size_));
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kDiskRead, op_id, d, static_cast<int64_t>(base),
+        static_cast<int64_t>(run));
+    // One leaf per coalesced run: the causal tree stays element-exact
+    // because (offset, elements) expands back to per-element accesses.
+    // Guarded here so attr construction is skipped when tracing is off.
+    if (auto& tlog = obs::TraceLog::global(); tlog.enabled()) {
+      tlog.event_in_span(trace_span, "disk.read",
+                         {{"disk", d},
+                          {"offset", static_cast<int64_t>(base)},
+                          {"elements", static_cast<int64_t>(run)}});
+    }
     i += run;
   }
 }
 
 void StripeIoEngine::run_write(int d, std::span<const WriteOp> ops,
-                               std::span<const size_t> idx) {
+                               std::span<const size_t> idx,
+                               uint64_t trace_span, uint64_t op_id) {
   DiskHandle& h = disk(d);
   size_t i = 0;
   while (i < idx.size()) {
@@ -204,7 +227,7 @@ void StripeIoEngine::run_write(int d, std::span<const WriteOp> ops,
     }
     IoResult r;
     if (run == 1) {
-      r = with_retries(h.faults(), [&] {
+      r = with_retries(h.faults(), op_id, [&] {
         return h.faults().write(base, {ops[idx[i]].src, element_size_});
       });
     } else {
@@ -212,22 +235,40 @@ void StripeIoEngine::run_write(int d, std::span<const WriteOp> ops,
       for (size_t k = 0; k < run; ++k) {
         iov[k] = ConstIoVec{ops[idx[i + k]].src, element_size_};
       }
-      r = with_retries(h.faults(),
+      r = with_retries(h.faults(), op_id,
                        [&] { return h.faults().writev(base, iov); });
     }
     if (!r.ok()) throw DiskFailedError(d);
     h.account_writes(static_cast<int64_t>(run),
                      static_cast<int64_t>(run * element_size_));
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kDiskWrite, op_id, d,
+        static_cast<int64_t>(base), static_cast<int64_t>(run));
+    if (auto& tlog = obs::TraceLog::global(); tlog.enabled()) {
+      tlog.event_in_span(trace_span, "disk.write",
+                         {{"disk", d},
+                          {"offset", static_cast<int64_t>(base)},
+                          {"elements", static_cast<int64_t>(run)}});
+    }
     i += run;
   }
 }
 
 void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
   if (ops.empty()) return;
+  // Capture the dispatching op's identity before fanning out: batch
+  // calls block until every run finishes, so pool workers can safely
+  // stamp the context's op id and hang their device events under this
+  // span no matter which thread executes them.
+  const obs::OpContext* ctx = obs::current_op_context();
+  const uint64_t op_id = ctx != nullptr ? ctx->op_id : 0;
+  obs::Span span(obs::TraceLog::global(), "engine.read_batch",
+                 ctx != nullptr ? ctx->span_id : 0,
+                 {{"ops", static_cast<int64_t>(ops.size())}});
   if (ops.size() == 1) {
     const ReadOp& op = ops.front();
     size_t one = 0;
-    run_read(op.disk, ops, {&one, 1});
+    run_read(op.disk, ops, {&one, 1}, span.id(), op_id);
     return;
   }
   // Group by disk, order each group by device offset so adjacency is
@@ -248,7 +289,7 @@ void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
   }
   auto run_group = [&](size_t i) {
     int d = active[i];
-    run_read(d, ops, by_disk[static_cast<size_t>(d)]);
+    run_read(d, ops, by_disk[static_cast<size_t>(d)], span.id(), op_id);
   };
   if (options_.parallel && active.size() > 1) {
     pool_->parallel_for(active.size(), run_group);
@@ -259,6 +300,11 @@ void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
 
 void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
   if (ops.empty()) return;
+  const obs::OpContext* ctx = obs::current_op_context();
+  const uint64_t op_id = ctx != nullptr ? ctx->op_id : 0;
+  obs::Span span(obs::TraceLog::global(), "engine.write_batch",
+                 ctx != nullptr ? ctx->span_id : 0,
+                 {{"ops", static_cast<int64_t>(ops.size())}});
   if (gate_ != nullptr && gate_->armed()) {
     // Power-loss injection active: execute strictly in batch order, one
     // admission per element, so the crash lands between the same element
@@ -266,13 +312,13 @@ void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
     for (const WriteOp& op : ops) {
       gate_->admit();
       size_t idx_store = &op - ops.data();
-      run_write(op.disk, ops, {&idx_store, 1});
+      run_write(op.disk, ops, {&idx_store, 1}, span.id(), op_id);
     }
     return;
   }
   if (ops.size() == 1) {
     size_t one = 0;
-    run_write(ops.front().disk, ops, {&one, 1});
+    run_write(ops.front().disk, ops, {&one, 1}, span.id(), op_id);
     return;
   }
   std::vector<std::vector<size_t>> by_disk(disks_.size());
@@ -291,7 +337,7 @@ void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
   }
   auto run_group = [&](size_t i) {
     int d = active[i];
-    run_write(d, ops, by_disk[static_cast<size_t>(d)]);
+    run_write(d, ops, by_disk[static_cast<size_t>(d)], span.id(), op_id);
   };
   if (options_.parallel && active.size() > 1) {
     pool_->parallel_for(active.size(), run_group);
@@ -302,17 +348,22 @@ void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
 
 void StripeIoEngine::read_element(int d, int64_t stripe, int row,
                                   uint8_t* dst) {
+  // Single-element path runs on the caller's thread: trace_span 0 lets
+  // the device event attach to whatever span is live there (the op root,
+  // a degraded_read span, ...).
+  const obs::OpContext* ctx = obs::current_op_context();
   ReadOp op{d, stripe, row, dst};
   size_t one = 0;
-  run_read(d, {&op, 1}, {&one, 1});
+  run_read(d, {&op, 1}, {&one, 1}, 0, ctx != nullptr ? ctx->op_id : 0);
 }
 
 void StripeIoEngine::write_element(int d, int64_t stripe, int row,
                                    const uint8_t* src) {
   if (gate_ != nullptr) gate_->admit();
+  const obs::OpContext* ctx = obs::current_op_context();
   WriteOp op{d, stripe, row, src};
   size_t one = 0;
-  run_write(d, {&op, 1}, {&one, 1});
+  run_write(d, {&op, 1}, {&one, 1}, 0, ctx != nullptr ? ctx->op_id : 0);
 }
 
 std::vector<int64_t> StripeIoEngine::per_disk_element_accesses() const {

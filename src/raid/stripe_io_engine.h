@@ -245,12 +245,17 @@ class StripeIoEngine {
             static_cast<uint64_t>(row)) *
            element_size_;
   }
-  // Issues one coalesced run for `disk`; `first` indexes into the batch.
+  // Issues the coalesced runs for `disk`; `idx` indexes into the batch.
+  // `trace_span` attributes the emitted disk.read/disk.write events (0 =
+  // the calling thread's current span); `op_id` stamps flight-recorder
+  // events with the originating array op.
   void run_read(int d, std::span<const ReadOp> ops,
-                std::span<const size_t> idx);
+                std::span<const size_t> idx, uint64_t trace_span,
+                uint64_t op_id);
   void run_write(int d, std::span<const WriteOp> ops,
-                 std::span<const size_t> idx);
-  IoResult with_retries(FaultInjectingDevice& dev,
+                 std::span<const size_t> idx, uint64_t trace_span,
+                 uint64_t op_id);
+  IoResult with_retries(FaultInjectingDevice& dev, uint64_t op_id,
                         const std::function<IoResult()>& io) const;
   void backoff_sleep(int disk, int attempt) const;
 

@@ -1,6 +1,7 @@
 #include "sim/workload.h"
 
 #include <cmath>
+#include <optional>
 
 #include "util/check.h"
 
@@ -27,6 +28,15 @@ std::vector<Op> generate_workload(WorkloadKind kind,
               "invalid times range");
   DCODE_CHECK(params.start_space >= 1, "empty start space");
   DCODE_CHECK(params.skew >= 1.0, "skew < 1 would bias toward high addresses");
+  DCODE_CHECK(params.zipf_theta >= 0.0 && params.zipf_theta < 1.0,
+              "zipf_theta must be in [0, 1)");
+
+  std::optional<ZipfianGenerator> zipf_storage;
+  const ZipfianGenerator* zipf = nullptr;
+  if (params.zipf_theta > 0.0) {
+    zipf_storage.emplace(params.start_space, params.zipf_theta);
+    zipf = &*zipf_storage;
+  }
 
   Pcg32 rng(params.seed);
   std::vector<Op> ops;
@@ -44,7 +54,9 @@ std::vector<Op> generate_workload(WorkloadKind kind,
         op.is_write = rng.next_below(2) == 0;
         break;
     }
-    if (params.skew == 1.0) {
+    if (zipf != nullptr) {
+      op.start = zipf->next(rng);
+    } else if (params.skew == 1.0) {
       op.start = static_cast<int64_t>(
           rng.next_u64() % static_cast<uint64_t>(params.start_space));
     } else {
@@ -59,6 +71,54 @@ std::vector<Op> generate_workload(WorkloadKind kind,
     ops.push_back(op);
   }
   return ops;
+}
+
+namespace {
+
+// Generalized harmonic number H_{n,theta} = sum_{i=1..n} 1/i^theta.
+double zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+// SplitMix64 finalizer: an invertible 64-bit mix, used to scatter
+// popularity ranks across the address space deterministically.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(int64_t n, double theta, bool scramble)
+    : n_(n), theta_(theta), scramble_(scramble) {
+  DCODE_CHECK(n >= 1, "Zipfian space must be non-empty");
+  DCODE_CHECK(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta(2, theta_) / zetan_);
+}
+
+int64_t ZipfianGenerator::next(Pcg32& rng) const {
+  double u = rng.next_double();
+  double uz = u * zetan_;
+  int64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<int64_t>(
+        double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) rank = n_ - 1;
+  }
+  if (!scramble_) return rank;
+  return static_cast<int64_t>(mix64(static_cast<uint64_t>(rank)) %
+                              static_cast<uint64_t>(n_));
 }
 
 }  // namespace dcode::sim

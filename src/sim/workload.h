@@ -41,11 +41,41 @@ struct WorkloadParams {
   // values concentrate starts toward low addresses via S = space * u^skew
   // (a hot-spot workload for the skew ablation).
   double skew = 1.0;
+  // Zipfian start addresses: 0 = off (use `skew` above). In (0, 1) the
+  // starts are drawn rank-by-popularity with P(rank k) ~ 1/(k+1)^theta
+  // and scrambled across [0, start_space), the standard key-value-store
+  // skew model (0.99 ≈ YCSB's default hot-spot). Overrides `skew`.
+  double zipf_theta = 0.0;
   uint64_t seed = 0x5eed;
 };
 
 // Write probability: read-only 0, read-intensive 3/10, mixed 1/2.
 std::vector<Op> generate_workload(WorkloadKind kind,
                                   const WorkloadParams& params);
+
+// Zipfian sampler over [0, n): Gray et al.'s closed-form method (SIGMOD
+// '94, the YCSB generator), O(n) setup and O(1) per draw. theta in
+// (0, 1) sets the skew — higher is hotter. With `scramble` (default) the
+// popularity ranks are hashed across the space so the hot set is not one
+// contiguous low-address run; without it, rank k maps to address k
+// (useful for asserting the distribution in tests).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(int64_t n, double theta, bool scramble = true);
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Draws one address using the caller's RNG stream.
+  int64_t next(Pcg32& rng) const;
+
+ private:
+  int64_t n_;
+  double theta_;
+  bool scramble_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
 
 }  // namespace dcode::sim
