@@ -15,16 +15,23 @@
 // from the fine log-linear histogram ladder plus the achieved rate (a
 // saturated cell achieves less than it offers — read its percentiles as
 // "overloaded", not as service latency).
+// A second section sweeps writer-thread counts through the async
+// StripePipeline (submit_read/submit_write + completion futures) to
+// measure how mixed 4K random IOPS scale with concurrency when every
+// device transfer pays a fixed injected service latency — the
+// acceptance gate for the request pipeline.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <sstream>
 #include <thread>
 
 #include "bench_common.h"
 #include "obs/op_context.h"
+#include "raid/pipeline.h"
 #include "raid/raid6_array.h"
 #include "sim/workload.h"
 #include "util/rng.h"
@@ -47,6 +54,10 @@ struct HarnessConfig {
   std::vector<std::string> backends = {"mem", "file"};
   std::vector<std::string> workloads = {"uniform", "zipfian", "mixed"};
   std::vector<std::string> states = {"healthy", "degraded", "rebuilding"};
+  // Pipelined writer-threads sweep (mem backend only).
+  std::vector<int> writer_threads = {1, 4, 8};
+  int writer_ops = 1600;             // total ops per sweep point
+  int writer_disk_latency_us = 40;   // injected per-transfer service time
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -83,13 +94,29 @@ HarnessConfig parse_flags(int argc, char** argv) {
       cfg.workloads = split_csv(next());
     } else if (a == "--states") {
       cfg.states = split_csv(next());
+    } else if (a == "--writer-threads") {
+      cfg.writer_threads.clear();
+      for (const auto& n : split_csv(next())) {
+        cfg.writer_threads.push_back(std::stoi(n));
+      }
+    } else if (a == "--writer-ops") {
+      cfg.writer_ops = std::stoi(next());
+    } else if (a == "--writer-disk-latency-us") {
+      cfg.writer_disk_latency_us = std::stoi(next());
     } else if (a.substr(0, 11) == "--benchmark") {
       // Tolerated so CI's generic bench smoke loop (which passes
       // google-benchmark flags to every binary) can run this one too.
     } else {
       std::cerr << "unknown flag: " << a
                 << " (flags: --ops --threads --rates --backends --workloads "
-                   "--states --json)\n";
+                   "--states --writer-threads --writer-ops "
+                   "--writer-disk-latency-us --json)\n";
+      std::exit(2);
+    }
+  }
+  for (int n : cfg.writer_threads) {
+    if (n < 1) {
+      std::cerr << "--writer-threads entries must be >= 1\n";
       std::exit(2);
     }
   }
@@ -274,6 +301,165 @@ std::unique_ptr<raid::Raid6Array> make_array(const std::string& backend,
 
 std::string format_us(double ns) { return format_double(ns / 1000.0, 1); }
 
+// --- pipelined writer-threads sweep ---------------------------------------
+
+// Cumulative value of a global-registry counter, for before/after deltas.
+int64_t global_counter(const std::string& name) {
+  for (const auto& m : obs::Registry::global().snapshot().metrics) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
+// A fresh mem-backend array for one sweep point. Every device transfer
+// pays a fixed injected service latency so the array behaves like real
+// disks: one writer is bounded by serial device waits, and extra writers
+// gain throughput only if the pipeline overlaps independent stripes.
+// Intra-op fan-out is disabled so all measured concurrency belongs to
+// the pipeline and the result does not depend on the host's core count.
+std::unique_ptr<raid::Raid6Array> make_sweep_array(int latency_us) {
+  const size_t esize = 4 * 1024;
+  const int64_t stripes = 128;
+  raid::ArrayOptions opts;
+  opts.device_factory = backend_device_factory("mem");
+  opts.parallel_user_io = false;
+  opts.stripe_lock_slots = 128;
+  auto array = std::make_unique<raid::Raid6Array>(
+      codes::make_layout("dcode", 7), esize, stripes, 0, nullptr,
+      std::move(opts));
+  Pcg32 rng(0x51EE6);
+  std::vector<uint8_t> blob(static_cast<size_t>(array->capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array->write(0, blob);
+  for (int d = 0; d < array->layout().cols(); ++d) {
+    array->disk(d).faults().set_latency_ns(latency_us * 1000LL);
+  }
+  return array;
+}
+
+struct SweepResult {
+  double iops = 0, p50 = 0, p99 = 0;
+  int64_t merged = 0;
+  int64_t errors = 0;
+};
+
+// One sweep point: `n` submitter threads, each holding up to kInFlight
+// async ops, issuing 1:1 random 4K-aligned reads and writes through a
+// StripePipeline with `n` executor workers. Latency per op comes from
+// its completion future (complete - enqueue, coordinated-omission-free
+// for a closed per-submitter window); IOPS from wall clock over the
+// whole burst.
+SweepResult run_writer_sweep_point(const HarnessConfig& cfg, int n) {
+  constexpr int kInFlight = 4;
+  auto array = make_sweep_array(cfg.writer_disk_latency_us);
+  const int64_t merged_before = global_counter("pipeline.writes_merged");
+  const size_t esize = array->element_size();
+  const int64_t slots = array->capacity() / static_cast<int64_t>(esize);
+  const int per_thread = (cfg.writer_ops + n - 1) / n;
+
+  obs::Histogram hist(obs::latency_fine_bounds_ns());
+  std::atomic<int64_t> errors{0};
+  const int64_t t0 = now_ns();
+  {
+    raid::PipelineOptions popts;
+    popts.workers = n;
+    popts.queue_depth = static_cast<size_t>(n) * 2 * kInFlight;
+    raid::StripePipeline pipeline(*array, popts);
+
+    auto submitter = [&](int id) {
+      Pcg32 rng(0xD15C0 + static_cast<uint64_t>(id));
+      std::vector<uint8_t> wbuf(esize);
+      rng.fill_bytes(wbuf.data(), wbuf.size());
+      // Read destinations rotate through kInFlight slots; the settle
+      // below guarantees op i - kInFlight completed before slot reuse.
+      std::vector<std::vector<uint8_t>> rbufs(
+          kInFlight, std::vector<uint8_t>(esize));
+      std::deque<raid::OpFuture> inflight;
+      auto settle = [&](size_t keep) {
+        while (inflight.size() > keep) {
+          raid::OpFuture f = std::move(inflight.front());
+          inflight.pop_front();
+          if (!f.wait()) errors.fetch_add(1, std::memory_order_relaxed);
+          hist.observe(f.latency_ns());
+        }
+      };
+      for (int i = 0; i < per_thread; ++i) {
+        settle(kInFlight - 1);
+        const int64_t off =
+            static_cast<int64_t>(rng.next_below(static_cast<uint32_t>(slots))) *
+            static_cast<int64_t>(esize);
+        if (rng.next_below(2) == 0) {
+          inflight.push_back(pipeline.submit_write(
+              off, std::span<const uint8_t>(wbuf.data(), esize)));
+        } else {
+          auto& dst = rbufs[static_cast<size_t>(i % kInFlight)];
+          inflight.push_back(
+              pipeline.submit_read(off, std::span<uint8_t>(dst.data(), esize)));
+        }
+      }
+      settle(0);
+    };
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(static_cast<size_t>(n));
+    for (int id = 0; id < n; ++id) submitters.emplace_back(submitter, id);
+    for (auto& s : submitters) s.join();
+  }  // pipeline drains and joins its workers here
+  const int64_t t1 = now_ns();
+
+  SweepResult r;
+  const double wall_s = static_cast<double>(t1 - t0) / 1e9;
+  r.iops = wall_s > 0
+               ? static_cast<double>(per_thread) * n / wall_s
+               : 0.0;
+  r.p50 = hist.percentile(0.50);
+  r.p99 = hist.percentile(0.99);
+  r.merged = global_counter("pipeline.writes_merged") - merged_before;
+  r.errors = errors.load();
+  return r;
+}
+
+void run_writer_sweep(const HarnessConfig& cfg, Telemetry& telemetry) {
+  if (cfg.writer_threads.empty()) return;
+
+  print_header(
+      "Pipelined writer scaling (async submit, mem backend, mixed 4K random)",
+      "Each point: N submitters x 4 in-flight async ops through a "
+      "StripePipeline with N workers; every device transfer pays " +
+          std::to_string(cfg.writer_disk_latency_us) +
+          "us injected service latency, intra-op fan-out off. Scaling "
+          "beyond 1.0x is concurrency the pipeline created by "
+          "overlapping independent stripes.");
+
+  TablePrinter table({"writers", "IOPS", "scaling", "p50(us)", "p99(us)",
+                      "merged", "errs"});
+  double base_iops = 0.0;
+  for (int n : cfg.writer_threads) {
+    SweepResult r = run_writer_sweep_point(cfg, n);
+    if (base_iops <= 0.0) base_iops = r.iops;
+    const double scaling = base_iops > 0 ? r.iops / base_iops : 0.0;
+    table.add_row({std::to_string(n), format_double(r.iops, 0),
+                   format_double(scaling, 2) + "x", format_us(r.p50),
+                   format_us(r.p99), std::to_string(r.merged),
+                   std::to_string(r.errors)});
+
+    obs::Labels cell = {{"writer_threads", std::to_string(n)}};
+    telemetry.add("pipeline_mixed_4k_iops", r.iops, cell);
+    telemetry.add("pipeline_p50_ns", r.p50, cell);
+    telemetry.add("pipeline_p99_ns", r.p99, cell);
+    telemetry.add("pipeline_iops_scaling_x", scaling, cell);
+    telemetry.add("pipeline_writes_merged",
+                  static_cast<double>(r.merged), cell);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: IOPS should rise close to linearly "
+               "while injected device waits dominate; p50/p99 stay near "
+               "flat because the per-submitter in-flight window is "
+               "constant — each op queues behind the same ~4 "
+               "predecessors regardless of writer count.\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +519,8 @@ int main(int argc, char** argv) {
                "under overload, not service latency. Degraded cells pay "
                "reconstruction reads; rebuilding cells additionally contend "
                "with the background worker's stripe locks.\n";
+
+  run_writer_sweep(cfg, telemetry);
 
   telemetry.finish();
   return 0;

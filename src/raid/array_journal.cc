@@ -71,7 +71,7 @@ int64_t Raid6Array::journal_recover() {
     // a fresh encode restores the stripe invariant. On a degraded array
     // the lost columns are decoded first (a crash can race a disk
     // failure), and only live-for-this-stripe devices are rewritten.
-    std::lock_guard<std::mutex> lock(stripe_lock(stripe));
+    std::unique_lock<std::mutex> lock = stripe_lock(stripe);
     bool degraded = false;
     for (int c = 0; c < layout.cols(); ++c) {
       degraded = degraded ||

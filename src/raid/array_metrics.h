@@ -113,6 +113,10 @@ struct ArrayMetrics {
         "raid.rebuild.throttle_wait_ns", obs::latency_bounds_ns(), {},
         "time the background rebuild worker waited on its token bucket, "
         "per stripe");
+    stripe_lock_wait_ns = &registry.histogram(
+        "raid.stripe_lock_wait_ns", obs::latency_bounds_ns(), {},
+        "time a stripe mutator blocked on the sharded stripe lock table "
+        "(contended acquisitions only)");
     read_bytes = &registry.histogram("raid.read_bytes",
                                      obs::size_bounds_bytes(), {},
                                      "user bytes per read op");
@@ -170,6 +174,7 @@ struct ArrayMetrics {
   obs::Histogram* scrub_latency_ns;
   obs::Histogram* engine_retry_backoff_ns;
   obs::Histogram* rebuild_throttle_wait_ns;
+  obs::Histogram* stripe_lock_wait_ns;
   obs::Histogram* read_bytes;
   obs::Histogram* write_bytes;
   std::vector<obs::Counter*> disk_element_reads;

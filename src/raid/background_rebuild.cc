@@ -100,7 +100,7 @@ bool Raid6Array::rebuild_pass(const std::vector<int>& targets) {
     if (waited > 0) metrics_.rebuild_throttle_wait_ns->observe(waited);
 
     for (int attempt = 0;; ++attempt) {
-      std::unique_lock<std::mutex> lock(stripe_lock(s));
+      std::unique_lock<std::mutex> lock = stripe_lock(s);
       try {
         Stripe buf(layout, element_size_);
         std::vector<Element> lost;

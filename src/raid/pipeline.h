@@ -1,0 +1,150 @@
+// StripePipeline: asynchronous submission in front of Raid6Array.
+//
+// The array is synchronous policy-per-call and the engine only fans out
+// *within* one stripe op, so a single caller thread serializes the whole
+// array no matter how balanced D-Code's layout is. The pipeline adds the
+// missing inter-op concurrency:
+//
+//   submit_read / submit_write            (any thread, returns OpFuture)
+//        │  bounded OpQueue — backpressure, arrival-order seq numbers
+//        ▼
+//   pop + write-merge                     (worker, atomic with…)
+//        ▼
+//   StripeRangeLock admission ticket      (…registration, in pop order)
+//        ▼
+//   Raid6Array::read / write              (N workers concurrently)
+//        ▼
+//   future completion                     (wait()/get() rethrows errors)
+//
+// Ordering contract: ops whose stripe ranges overlap (with at least one
+// writer) execute in exactly admission order; everything else runs
+// concurrently. Merged writes are applied in admission order inside the
+// batch (later source wins on byte overlap), so the array contents after
+// any run equal a serial array that applied the same ops in admission
+// order — tests/pipeline_test.cc proves this bit-for-bit.
+//
+// Observability: each submitted op carries its own op id and enqueue
+// timestamp; the worker binds an OpContext before calling the array, so
+// the existing OpGuard adopts it — the causal span tree, flight
+// recorder, and coordinated-omission-free latency accounting all hold
+// per pipelined op (a merged batch executes under its head op's
+// identity). Queue depth, admission wait, and merge width are exported
+// as pipeline.* metrics in the array's registry.
+//
+// Fault interplay: workers call the array's public ops, so the PR 5
+// machinery — mid-op failover replay, rebuild watermark, device
+// generation checks, journal bracketing, power-loss gate — covers
+// in-flight pipelined ops unchanged. A failed op surfaces its exception
+// (DiskFailedError, PowerLossError, …) on every future of its batch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "raid/op_queue.h"
+#include "raid/raid6_array.h"
+#include "raid/stripe_lock_table.h"
+
+namespace dcode::raid {
+
+struct PipelineOptions {
+  int workers = 4;          // executor threads
+  size_t queue_depth = 256; // push() backpressure threshold
+  bool merge_writes = true;
+  size_t merge_limit = 16;  // max writes coalesced into one batch
+};
+
+// Completion handle for one submitted op. Copyable; all copies observe
+// the same completion.
+class OpFuture {
+ public:
+  OpFuture() = default;
+  explicit OpFuture(std::shared_ptr<OpState> st) : st_(std::move(st)) {}
+
+  bool valid() const { return st_ != nullptr; }
+  // Blocks until the op completes, then rethrows its error if it failed.
+  void get() {
+    st_->wait();
+    std::lock_guard<std::mutex> l(st_->mu);
+    if (st_->error) std::rethrow_exception(st_->error);
+  }
+  // Blocks without rethrowing. Returns true iff the op succeeded.
+  bool wait() {
+    st_->wait();
+    std::lock_guard<std::mutex> l(st_->mu);
+    return st_->error == nullptr;
+  }
+  bool ready() const { return st_->ready(); }
+  uint64_t op_id() const { return st_->op_id; }
+  // Admission order; assigned when submit enqueued the op.
+  uint64_t sequence() const { return st_->seq; }
+  // Submit-to-completion wall time. Valid after completion.
+  int64_t latency_ns() const {
+    std::lock_guard<std::mutex> l(st_->mu);
+    return st_->complete_ns - st_->enqueue_ns;
+  }
+
+ private:
+  std::shared_ptr<OpState> st_;
+};
+
+class StripePipeline {
+ public:
+  // Metrics land in `array.metrics_registry()` under pipeline.*.
+  explicit StripePipeline(Raid6Array& array, PipelineOptions options = {});
+  // Closes the queue, drains every queued op, joins the workers.
+  ~StripePipeline();
+
+  StripePipeline(const StripePipeline&) = delete;
+  StripePipeline& operator=(const StripePipeline&) = delete;
+
+  // Asynchronous user I/O. Write data is copied before submit returns;
+  // a read's destination must stay valid until its future completes.
+  // Blocks only on queue backpressure. Throws std::runtime_error if the
+  // pipeline is shutting down.
+  OpFuture submit_read(int64_t offset, std::span<uint8_t> out);
+  OpFuture submit_write(int64_t offset, std::span<const uint8_t> data);
+
+  // Blocks until every op submitted so far has completed.
+  void drain();
+
+  Raid6Array& array() { return array_; }
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  struct Metrics {
+    obs::Gauge* queue_depth;
+    obs::Histogram* admission_wait_ns;
+    obs::Histogram* merge_width;
+    obs::Counter* ops_submitted;
+    obs::Counter* ops_completed;
+    obs::Counter* writes_merged;
+    obs::Counter* batches;
+  };
+
+  static Metrics resolve_metrics(Raid6Array& array);
+  void worker_loop();
+  void execute(OpBatch& batch);
+  OpFuture submit(PendingOp op);
+  // Stripe range covered by the byte range [offset, offset+len).
+  void stripe_range(int64_t offset, int64_t len, int64_t* first,
+                    int64_t* last) const;
+
+  Raid6Array& array_;
+  PipelineOptions options_;
+  Metrics metrics_;
+  StripeRangeLock range_lock_;
+  OpQueue queue_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dcode::raid

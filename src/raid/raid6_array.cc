@@ -184,6 +184,7 @@ Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
               registry != nullptr ? *registry : obs::Registry::global()),
       options_(std::move(options)),
       needs_rebuild_(static_cast<size_t>(layout_->cols())),
+      stripe_locks_(options_.stripe_lock_slots, metrics_.stripe_lock_wait_ns),
       rebuild_throttle_(options_.rebuild_rate_stripes_per_sec,
                         options_.rebuild_burst_stripes) {
   engine_.set_health_monitor(&health_);
@@ -452,7 +453,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
     // rewrite around the rebuilding disk. A disk failing mid-write
     // surfaces as DiskFailedError — re-plan and retry (failover).
     for (int attempt = 0;; ++attempt) {
-      std::unique_lock<std::mutex> lock(stripe_lock(stripe));
+      std::unique_lock<std::mutex> lock = stripe_lock(stripe);
       bool stripe_degraded = false;
       for (int d = 0; d < layout.cols(); ++d) {
         stripe_degraded |= disk_degraded_for_stripe(d, stripe);

@@ -54,6 +54,7 @@
 #include "raid/journal.h"
 #include "raid/planner.h"
 #include "raid/stripe_io_engine.h"
+#include "raid/stripe_lock_table.h"
 #include "util/thread_pool.h"
 #include "util/token_bucket.h"
 
@@ -105,6 +106,11 @@ struct ArrayOptions {
   // Background rebuild throttle in stripes/second; <= 0 = unthrottled.
   double rebuild_rate_stripes_per_sec = 0.0;
   double rebuild_burst_stripes = 8.0;
+  // Slots in the sharded stripe lock table (each slot is one
+  // cache-line-padded mutex; stripes hash to slots by modulo). More
+  // slots = fewer false conflicts between unrelated stripes under high
+  // pipeline concurrency.
+  int stripe_lock_slots = 64;
   // Slow-op watchdog: a read/write whose wall time reaches this threshold
   // bumps raid.slow_ops, emits a trace event, and asks the global
   // FlightRecorder for a dump (rate-limited; written only when a dump
@@ -267,8 +273,10 @@ class Raid6Array : private WriteGate {
   bool disk_degraded_for_range(int d, int64_t last_stripe) const {
     return disk_degraded_for_stripe(d, last_stripe);
   }
-  std::mutex& stripe_lock(int64_t stripe) {
-    return stripe_mu_[static_cast<size_t>(stripe) % stripe_mu_.size()];
+  // Locks the (sharded) mutex serializing mutators of `stripe`; blocked
+  // time lands in raid.stripe_lock_wait_ns.
+  std::unique_lock<std::mutex> stripe_lock(int64_t stripe) {
+    return stripe_locks_.lock(stripe);
   }
 
   // Escalation handler (health-monitor callback): promotes a hot spare
@@ -320,9 +328,11 @@ class Raid6Array : private WriteGate {
 
   // Stripe-level write serialization: foreground writes, the background
   // rebuild worker, and journal recovery each lock the stripe they
-  // mutate (sharded — collisions just serialize unrelated stripes).
-  // Engine pool tasks never take these, so there is no lock/pool cycle.
-  std::array<std::mutex, 64> stripe_mu_;
+  // mutate (sharded — collisions just serialize unrelated stripes; slot
+  // count via ArrayOptions::stripe_lock_slots, each slot on its own
+  // cache line). Engine pool tasks never take these, so there is no
+  // lock/pool cycle.
+  StripeLockTable stripe_locks_;
 
   std::atomic<int> hot_spares_{0};
   // Serializes spare promotion against rebuild completion, so a disk

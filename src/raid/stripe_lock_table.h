@@ -1,0 +1,171 @@
+// Stripe-granular locking for the array and the request pipeline.
+//
+// Two cooperating pieces live here:
+//
+//  * StripeLockTable — the array-internal sharded mutex table that
+//    serializes stripe mutators (foreground writes, the background
+//    rebuild worker, journal recovery). Replaces the old fixed
+//    std::array<std::mutex, 64>: each slot is cache-line padded so two
+//    cores spinning on neighbouring slots no longer false-share, the
+//    slot count is configurable (ArrayOptions::stripe_lock_slots), and
+//    acquisition records how long the caller blocked.
+//
+//  * StripeRangeLock — the pipeline's admission layer. Each submitted
+//    op covers a stripe range; tickets are registered in admission
+//    (queue-pop) order and granted so that non-overlapping ops proceed
+//    fully concurrently while overlapping ops serialize in exactly
+//    arrival order. Two reads never conflict; read/write and
+//    write/write overlaps do. Wait time is observed into the
+//    admission-wait histogram.
+//
+// Lock ordering: StripeRangeLock tickets are registered while the
+// OpQueue's mutex is held (registration must be atomic with the FIFO
+// pop, or a later op could be granted before an earlier overlapping one
+// is even visible); the range lock's own mutex is a leaf below it.
+// StripeLockTable slots are leaves below everything in the array.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace dcode::raid {
+
+// Sharded per-stripe mutex table. Stripes hash to slots by modulo, so a
+// collision merely serializes two unrelated stripes — never a
+// correctness issue, only a throughput one; more slots = fewer
+// collisions at (64 bytes + mutex) per slot.
+class StripeLockTable {
+ public:
+  // `slots` must be positive; `wait_hist` (optional) receives the
+  // blocked-time of every acquisition that had to wait.
+  explicit StripeLockTable(int slots, obs::Histogram* wait_hist = nullptr)
+      : count_(static_cast<size_t>(slots)), wait_hist_(wait_hist) {
+    DCODE_CHECK(slots > 0, "stripe lock table needs at least one slot");
+    slots_ = std::make_unique<Slot[]>(count_);
+  }
+
+  size_t slot_count() const { return count_; }
+
+  // Locks the slot owning `stripe`, recording contention: the uncontended
+  // path is a single try_lock, the contended one measures the block and
+  // observes it into the wait histogram.
+  std::unique_lock<std::mutex> lock(int64_t stripe) {
+    std::mutex& mu = slots_[static_cast<size_t>(stripe) % count_].mu;
+    std::unique_lock<std::mutex> l(mu, std::try_to_lock);
+    if (!l.owns_lock()) {
+      const int64_t t0 = now_ns();
+      l.lock();
+      if (wait_hist_ != nullptr) wait_hist_->observe(now_ns() - t0);
+    }
+    return l;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::mutex mu;
+  };
+
+  static int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  size_t count_;
+  std::unique_ptr<Slot[]> slots_;
+  obs::Histogram* wait_hist_;
+};
+
+// FIFO range-lock over stripe ranges: the pipeline's admission layer.
+//
+// Protocol: register_ticket() is called in admission order (atomically
+// with the op-queue pop, under the queue's mutex); acquire() then blocks
+// until no conflicting ticket with a smaller sequence number remains
+// registered; release() retires the ticket and wakes waiters. Because
+// registration order equals admission order and a ticket only ever
+// waits on strictly smaller sequence numbers, grants are acyclic (no
+// deadlock) and overlapping ops execute in exactly arrival order.
+class StripeRangeLock {
+ public:
+  explicit StripeRangeLock(obs::Histogram* wait_hist = nullptr)
+      : wait_hist_(wait_hist) {}
+
+  // Registers a ticket for stripes [first, last]. `seq` values must be
+  // registered in strictly increasing order (the op queue's pop order).
+  void register_ticket(uint64_t seq, int64_t first, int64_t last,
+                       bool is_write) {
+    std::lock_guard<std::mutex> l(mu_);
+    tickets_.emplace(seq, Ticket{first, last, is_write});
+  }
+
+  // Blocks until the ticket is frontmost among the registered tickets it
+  // conflicts with. Records blocked time into the admission-wait
+  // histogram (0 is observed too — the uncontended admission is part of
+  // the latency story).
+  void acquire(uint64_t seq) {
+    std::unique_lock<std::mutex> l(mu_);
+    auto self = tickets_.find(seq);
+    DCODE_CHECK(self != tickets_.end(), "acquire of unregistered ticket");
+    if (!grantable(self)) {
+      const int64_t t0 = now_ns();
+      cv_.wait(l, [&] { return grantable(self); });
+      if (wait_hist_ != nullptr) wait_hist_->observe(now_ns() - t0);
+    } else if (wait_hist_ != nullptr) {
+      wait_hist_->observe(0);
+    }
+  }
+
+  void release(uint64_t seq) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      tickets_.erase(seq);
+    }
+    cv_.notify_all();
+  }
+
+  // Registered (granted or waiting) tickets — for tests and the drain
+  // check.
+  size_t registered() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return tickets_.size();
+  }
+
+ private:
+  struct Ticket {
+    int64_t first;
+    int64_t last;
+    bool is_write;
+  };
+
+  static int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  bool grantable(std::map<uint64_t, Ticket>::iterator self) const {
+    // tickets_ is keyed by seq, so everything before `self` in iteration
+    // order is an earlier admission.
+    for (auto it = tickets_.begin(); it != self; ++it) {
+      const Ticket& u = it->second;
+      const Ticket& t = self->second;
+      const bool overlap = u.first <= t.last && t.first <= u.last;
+      if (overlap && (u.is_write || t.is_write)) return false;
+    }
+    return true;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Ticket> tickets_;
+  obs::Histogram* wait_hist_;
+};
+
+}  // namespace dcode::raid

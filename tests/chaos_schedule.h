@@ -104,4 +104,46 @@ inline ChaosSchedule make_chaos_schedule(uint64_t seed, int rounds,
   return sched;
 }
 
+// Concurrent inter-stripe schedule family: faults struck while two (or
+// more) submitters race pipelined writes across *distinct* stripe
+// regions. Restricted to the families whose invariants are interesting
+// under true inter-stripe concurrency — fail-stop (single and double)
+// racing the failover replay contract, and power loss racing the
+// journal — plus quiet rounds so pure concurrent merging is exercised
+// with no fault at all.
+inline ChaosSchedule make_concurrent_chaos_schedule(uint64_t seed,
+                                                    int rounds, int disks) {
+  ChaosSchedule sched;
+  sched.seed = seed;
+  Pcg32 rng(seed ^ 0xC0CC0DE5u);
+  sched.rounds.reserve(static_cast<size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    ChaosEvent ev;
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+        ev.kind = ChaosFault::kNone;
+        break;
+      case 2:
+      case 3:
+      case 4:
+        ev.kind = ChaosFault::kFailStop;
+        break;
+      case 5:
+        ev.kind = ChaosFault::kDoubleFailStop;
+        break;
+      default:
+        ev.kind = ChaosFault::kPowerLoss;
+        ev.param = 1 + static_cast<int64_t>(rng.next_below(60));
+        break;
+    }
+    ev.disk = static_cast<int>(rng.next_below(static_cast<uint32_t>(disks)));
+    ev.disk2 = static_cast<int>(
+        rng.next_below(static_cast<uint32_t>(disks - 1)));
+    if (ev.disk2 >= ev.disk) ++ev.disk2;
+    sched.rounds.push_back(ev);
+  }
+  return sched;
+}
+
 }  // namespace dcode::raid

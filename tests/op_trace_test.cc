@@ -21,6 +21,7 @@
 
 #include "codes/registry.h"
 #include "obs/trace.h"
+#include "raid/pipeline.h"
 #include "raid/planner.h"
 #include "raid/raid6_array.h"
 #include "util/rng.h"
@@ -245,6 +246,97 @@ TEST_F(OpTraceTest, RmwWriteLeavesMatchIoPlan) {
   EXPECT_EQ(accesses,
             predicted(planner.plan_write(start, len,
                                          WritePolicy::kReadModifyWrite),
+                      array_->layout().rows(), kElem));
+}
+
+// --- pipelined ops ---------------------------------------------------------
+// Submitting through the StripePipeline must not change the causal
+// story: the worker binds the submitted op's OpContext before calling
+// the array, so the root span, engine spans, and device leaves form the
+// same tree the synchronous call produces — and still equal the IoPlan.
+
+TEST_F(OpTraceTest, PipelinedWriteLeavesMatchIoPlan) {
+  const int64_t start = 5;
+  const int len = 7;
+  auto fresh = random_bytes(static_cast<size_t>(len) * kElem, 7);
+  auto accesses = run_traced("array.write", [&] {
+    StripePipeline pipe(*array_, {.workers = 1});
+    pipe.submit_write(start * static_cast<int64_t>(kElem), fresh).get();
+  });
+
+  AddressMap map(array_->layout());
+  IoPlanner planner(map);
+  EXPECT_EQ(accesses,
+            predicted(planner.plan_write(start, len,
+                                         WritePolicy::kReadModifyWrite),
+                      array_->layout().rows(), kElem));
+}
+
+TEST_F(OpTraceTest, PipelinedReadLeavesMatchIoPlan) {
+  const int64_t start = 2;
+  const int len = 9;
+  std::vector<uint8_t> out(static_cast<size_t>(len) * kElem);
+  auto accesses = run_traced("array.read", [&] {
+    StripePipeline pipe(*array_, {.workers = 1});
+    pipe.submit_read(start * static_cast<int64_t>(kElem), out).get();
+  });
+
+  AddressMap map(array_->layout());
+  IoPlanner planner(map);
+  EXPECT_EQ(accesses, predicted(planner.plan_read(start, len),
+                                array_->layout().rows(), kElem));
+}
+
+TEST_F(OpTraceTest, MergedPipelinedWritesTraceAsOneOpMatchingTheUnionPlan) {
+  // Slow the devices and park the single worker on a read of stripe 3,
+  // so two adjacent writes to stripe 0 queue behind it and coalesce:
+  // exactly one array.write root span whose leaves equal the planner's
+  // plan for the *union* range — the merged batch really did execute as
+  // one RMW.
+  for (int d = 0; d < array_->layout().cols(); ++d)
+    array_->disk(d).faults().set_latency_ns(5'000'000);
+  const int64_t stripe_bytes =
+      array_->layout().data_count() * static_cast<int64_t>(kElem);
+  auto a = random_bytes(2 * kElem, 8);
+  auto b = random_bytes(2 * kElem, 9);
+  std::vector<uint8_t> park(kElem);
+  std::ostringstream trace;
+  obs::TraceLog::global().attach(&trace);
+  {
+    StripePipeline pipe(*array_, {.workers = 1, .merge_limit = 4});
+    auto busy = pipe.submit_read(3 * stripe_bytes, park);
+    auto f1 = pipe.submit_write(0, a);
+    auto f2 = pipe.submit_write(2 * static_cast<int64_t>(kElem), b);
+    busy.get();
+    f1.get();
+    f2.get();
+  }
+  obs::TraceLog::global().close();
+  for (int d = 0; d < array_->layout().cols(); ++d)
+    array_->disk(d).faults().set_latency_ns(0);
+
+  ParsedTrace t;
+  parse_trace_into(trace.str(), &t);
+  // Exactly one write root: the two submitted writes executed as one
+  // merged op (the parked read owns the only other root).
+  uint64_t write_root = 0;
+  int write_roots = 0;
+  for (uint64_t r : t.roots) {
+    if (t.name_of[r] == "array.write") {
+      write_root = r;
+      ++write_roots;
+    }
+  }
+  ASSERT_EQ(write_roots, 1);
+  std::vector<DeviceAccess> accesses;
+  for (const auto& [span, access] : t.leaves)
+    if (under(t, span, write_root)) accesses.push_back(access);
+  std::sort(accesses.begin(), accesses.end());
+
+  AddressMap map(array_->layout());
+  IoPlanner planner(map);
+  EXPECT_EQ(accesses,
+            predicted(planner.plan_write(0, 4, WritePolicy::kReadModifyWrite),
                       array_->layout().rows(), kElem));
 }
 

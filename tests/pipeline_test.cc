@@ -1,0 +1,560 @@
+// Request-pipeline tests: the OpQueue's merge pass, the StripeRangeLock
+// admission protocol, the StripeLockTable, and the StripePipeline's
+// end-to-end ordering contract — any concurrent schedule of submitted
+// ops leaves the array bit-identical to a serial array that applied the
+// same ops in admission order (the seeded property test at the bottom,
+// also run under TSan via the `pipeline` ctest label).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/journal.h"
+#include "raid/pipeline.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+
+namespace dcode::raid {
+namespace {
+
+constexpr size_t kElem = 128;
+
+std::vector<uint8_t> random_blob(Pcg32& rng, size_t n) {
+  std::vector<uint8_t> v(n);
+  rng.fill_bytes(v.data(), n);
+  return v;
+}
+
+PendingOp make_write(int64_t offset, int64_t len, uint8_t fill) {
+  PendingOp op;
+  op.is_write = true;
+  op.offset = offset;
+  op.len = len;
+  op.data.assign(static_cast<size_t>(len), fill);
+  op.state = std::make_shared<OpState>();
+  return op;
+}
+
+PendingOp make_read(int64_t offset, int64_t len) {
+  PendingOp op;
+  op.is_write = false;
+  op.offset = offset;
+  op.len = len;
+  op.state = std::make_shared<OpState>();
+  return op;
+}
+
+OpQueue::RegisterFn no_reg() {
+  return [](uint64_t, int64_t, int64_t, bool) {};
+}
+
+const obs::MetricSnapshot& find_metric(const obs::RegistrySnapshot& snap,
+                                       const std::string& name) {
+  for (const auto& m : snap.metrics)
+    if (m.name == name) return m;
+  throw std::logic_error("metric not found: " + name);
+}
+
+// ---------- OpQueue: merge pass ----------
+
+TEST(OpQueue, MergesAdjacentAndOverlappingWrites) {
+  OpQueue q(OpQueue::Options{16, true, 8});
+  ASSERT_TRUE(q.push(make_write(100, 50, 1)));   // [100,150)
+  ASSERT_TRUE(q.push(make_write(150, 50, 2)));   // adjoins -> [100,200)
+  ASSERT_TRUE(q.push(make_write(120, 100, 3)));  // overlaps -> [100,220)
+  ASSERT_TRUE(q.push(make_write(90, 20, 4)));    // overlaps -> [90,220)
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_TRUE(b.is_write);
+  EXPECT_EQ(b.sources.size(), 4u);
+  EXPECT_EQ(b.offset, 90);
+  EXPECT_EQ(b.end, 220);
+  // Admission order preserved inside the batch.
+  for (size_t i = 1; i < b.sources.size(); ++i)
+    EXPECT_LT(b.sources[i - 1].seq, b.sources[i].seq);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(OpQueue, MergeStopsAtGapAndNeverReordersPastIt) {
+  OpQueue q(OpQueue::Options{16, true, 8});
+  ASSERT_TRUE(q.push(make_write(0, 10, 1)));    // [0,10)
+  ASSERT_TRUE(q.push(make_write(500, 10, 2)));  // gap -> not mergeable
+  ASSERT_TRUE(q.push(make_write(10, 10, 3)));   // would adjoin, but queued
+                                                // behind the gap op
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 1u);  // merge stopped at the first gap
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 1u);
+  EXPECT_EQ(b.offset, 500);
+}
+
+TEST(OpQueue, MergeStopsAtReads) {
+  OpQueue q(OpQueue::Options{16, true, 8});
+  ASSERT_TRUE(q.push(make_write(0, 10, 1)));
+  ASSERT_TRUE(q.push(make_read(5, 10)));      // overlapping read: barrier
+  ASSERT_TRUE(q.push(make_write(10, 10, 2)));
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 1u);
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_FALSE(b.is_write);
+}
+
+TEST(OpQueue, MergeRespectsLimit) {
+  OpQueue q(OpQueue::Options{16, true, 3});
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(q.push(make_write(i * 10, 10, static_cast<uint8_t>(i))));
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 3u);
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 2u);
+}
+
+TEST(OpQueue, MergeDisabledPopsSingles) {
+  OpQueue q(OpQueue::Options{16, false, 8});
+  ASSERT_TRUE(q.push(make_write(0, 10, 1)));
+  ASSERT_TRUE(q.push(make_write(10, 10, 2)));
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  EXPECT_EQ(b.sources.size(), 1u);
+}
+
+TEST(OpQueue, RegistersTicketInPopOrderUnderTheQueueLock) {
+  OpQueue q(OpQueue::Options{16, true, 8});
+  ASSERT_TRUE(q.push(make_write(0, 10, 1)));
+  ASSERT_TRUE(q.push(make_write(10, 10, 2)));
+  std::vector<uint64_t> registered;
+  auto reg = [&](uint64_t seq, int64_t, int64_t, bool is_write) {
+    registered.push_back(seq);
+    EXPECT_TRUE(is_write);
+  };
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, reg));
+  ASSERT_EQ(registered.size(), 1u);
+  EXPECT_EQ(registered[0], b.seq);
+  EXPECT_EQ(b.sources.size(), 2u);  // batch seq is the head's
+  EXPECT_EQ(b.seq, b.sources.front().seq);
+}
+
+TEST(OpQueue, BackpressureBlocksPushUntilPop) {
+  OpQueue q(OpQueue::Options{2, true, 8});
+  ASSERT_TRUE(q.push(make_read(0, 10)));
+  ASSERT_TRUE(q.push(make_read(10, 10)));
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    EXPECT_TRUE(q.push(make_read(20, 10)));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still at depth 2
+  OpBatch b;
+  ASSERT_TRUE(q.pop_merged(&b, no_reg()));
+  t.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(OpQueue, CloseDrainsThenStops) {
+  OpQueue q(OpQueue::Options{16, true, 8});
+  ASSERT_TRUE(q.push(make_read(0, 10)));
+  q.close();
+  EXPECT_FALSE(q.push(make_read(10, 10)));
+  OpBatch b;
+  EXPECT_TRUE(q.pop_merged(&b, no_reg()));   // drains the queued op
+  EXPECT_FALSE(q.pop_merged(&b, no_reg()));  // then reports closed
+}
+
+// ---------- StripeRangeLock: admission protocol ----------
+
+TEST(StripeRangeLock, OverlappingWritersSerializeInAdmissionOrder) {
+  StripeRangeLock rl;
+  rl.register_ticket(1, 0, 2, /*is_write=*/true);
+  rl.register_ticket(2, 2, 4, /*is_write=*/true);  // overlaps stripe 2
+  rl.acquire(1);
+  std::atomic<bool> acquired2{false};
+  std::thread t([&] {
+    rl.acquire(2);
+    acquired2.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired2.load());
+  rl.release(1);
+  t.join();
+  EXPECT_TRUE(acquired2.load());
+  rl.release(2);
+  EXPECT_EQ(rl.registered(), 0u);
+}
+
+TEST(StripeRangeLock, DisjointRangesProceedConcurrently) {
+  StripeRangeLock rl;
+  rl.register_ticket(1, 0, 1, true);
+  rl.register_ticket(2, 5, 6, true);
+  rl.acquire(1);
+  rl.acquire(2);  // must not block: no overlap
+  rl.release(1);
+  rl.release(2);
+}
+
+TEST(StripeRangeLock, ReadersShareReadersButNotWriters) {
+  StripeRangeLock rl;
+  rl.register_ticket(1, 0, 3, false);
+  rl.register_ticket(2, 1, 2, false);
+  rl.acquire(1);
+  rl.acquire(2);  // read/read overlap is fine
+  rl.register_ticket(3, 1, 1, true);
+  std::atomic<bool> acquired3{false};
+  std::thread t([&] {
+    rl.acquire(3);
+    acquired3.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired3.load());  // writer waits for both readers
+  rl.release(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired3.load());
+  rl.release(1);
+  t.join();
+  rl.release(3);
+}
+
+// ---------- StripeLockTable ----------
+
+TEST(StripeLockTable, ConfigurableSlotCountAndModuloSharding) {
+  StripeLockTable t(7);
+  EXPECT_EQ(t.slot_count(), 7u);
+  auto l = t.lock(3);
+  EXPECT_TRUE(l.owns_lock());
+  auto m = t.lock(4);  // different slot: no deadlock, both held
+  EXPECT_TRUE(m.owns_lock());
+}
+
+TEST(StripeLockTable, RecordsContendedWaits) {
+  obs::Registry reg;
+  auto& h = reg.histogram("t.wait_ns", obs::latency_bounds_ns(), {}, "");
+  StripeLockTable t(4, &h);
+  auto l = t.lock(0);
+  std::thread waiter([&] {
+    auto w = t.lock(4);  // same slot as stripe 0 (4 % 4)
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  l.unlock();
+  waiter.join();
+  EXPECT_GE(find_metric(reg.snapshot(), "t.wait_ns").count, 1);
+}
+
+// ---------- StripePipeline: end-to-end ----------
+
+Raid6Array make_array(obs::Registry& reg, int64_t stripes = 8,
+                      ArrayOptions opts = {}) {
+  return Raid6Array(codes::make_layout("dcode", 7), kElem, stripes, 2, &reg,
+                    std::move(opts));
+}
+
+TEST(StripePipeline, ReadsAndWritesRoundTrip) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  Pcg32 rng(42);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  StripePipeline pipe(array, {.workers = 3, .queue_depth = 32});
+  std::vector<OpFuture> futs;
+  const int64_t chunk = 1000;
+  for (int64_t off = 0; off < array.capacity(); off += chunk) {
+    const int64_t n = std::min(chunk, array.capacity() - off);
+    futs.push_back(pipe.submit_write(
+        off, std::span<const uint8_t>(blob.data() + off,
+                                      static_cast<size_t>(n))));
+  }
+  for (auto& f : futs) f.get();
+  std::vector<uint8_t> back(blob.size());
+  std::vector<OpFuture> reads;
+  for (int64_t off = 0; off < array.capacity(); off += chunk) {
+    const int64_t n = std::min(chunk, array.capacity() - off);
+    reads.push_back(pipe.submit_read(
+        off, std::span<uint8_t>(back.data() + off, static_cast<size_t>(n))));
+  }
+  pipe.drain();
+  for (auto& f : reads) EXPECT_TRUE(f.ready());
+  EXPECT_EQ(back, blob);
+  EXPECT_EQ(array.scrub(), 0);
+  auto snap = reg.snapshot();
+  EXPECT_EQ(find_metric(snap, "pipeline.ops_submitted").value,
+            find_metric(snap, "pipeline.ops_completed").value);
+  EXPECT_EQ(find_metric(snap, "pipeline.queue_depth").value, 0);
+}
+
+TEST(StripePipeline, SequenceNumbersFollowSubmissionOrder) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  StripePipeline pipe(array, {.workers = 2});
+  std::vector<uint8_t> d(64, 0xAB);
+  auto f1 = pipe.submit_write(0, d);
+  auto f2 = pipe.submit_write(0, d);
+  auto f3 = pipe.submit_read(0, d);
+  EXPECT_LT(f1.sequence(), f2.sequence());
+  EXPECT_LT(f2.sequence(), f3.sequence());
+  EXPECT_NE(f1.op_id(), f2.op_id());
+  pipe.drain();
+  EXPECT_GT(f1.latency_ns(), 0);
+}
+
+TEST(StripePipeline, ZeroLengthOpsCompleteInline) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  StripePipeline pipe(array, {.workers = 1});
+  std::vector<uint8_t> empty;
+  auto f = pipe.submit_write(0, empty);
+  EXPECT_TRUE(f.ready());
+  f.get();
+}
+
+TEST(StripePipeline, OutOfRangeSubmitThrowsSynchronously) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  StripePipeline pipe(array, {.workers = 1});
+  std::vector<uint8_t> d(64);
+  EXPECT_THROW(pipe.submit_write(array.capacity(), d), std::logic_error);
+  EXPECT_THROW(pipe.submit_read(-1, d), std::logic_error);
+}
+
+TEST(StripePipeline, PowerLossSurfacesOnTheFuture) {
+  obs::Registry reg;
+  auto array = make_array(reg);
+  array.enable_journal();
+  std::vector<uint8_t> d(256, 0x5A);
+  array.write(0, d);
+  array.inject_power_loss_after(0);
+  StripePipeline pipe(array, {.workers = 1});
+  auto f = pipe.submit_write(0, d);
+  EXPECT_FALSE(f.wait());
+  EXPECT_THROW(f.get(), PowerLossError);
+  // The pipeline itself survives; recovery follows the normal protocol.
+  array.restart();
+  array.journal_recover();
+  EXPECT_EQ(array.scrub(), 0);
+}
+
+TEST(StripePipeline, MergesQueuedAdjacentWritesBehindABusyWorker) {
+  obs::Registry reg;
+  auto array = make_array(reg, /*stripes=*/8);
+  for (int d = 0; d < array.layout().cols(); ++d)
+    array.disk(d).faults().set_latency_ns(10'000'000);  // 10 ms per access
+  const int64_t stripe_bytes =
+      array.layout().data_count() * static_cast<int64_t>(kElem);
+  StripePipeline pipe(array, {.workers = 1, .merge_limit = 8});
+  std::vector<uint8_t> d(64, 0x11);
+  // Occupy the single worker on stripe 4, then queue four adjacent
+  // partial writes on stripe 0: by the time the worker returns they are
+  // all queued and must coalesce into one batch.
+  auto busy = pipe.submit_write(4 * stripe_bytes, d);
+  std::vector<OpFuture> futs;
+  for (int i = 0; i < 4; ++i)
+    futs.push_back(pipe.submit_write(i * 64, d));
+  pipe.drain();
+  busy.get();
+  for (auto& f : futs) f.get();
+  auto snap = reg.snapshot();
+  EXPECT_GE(find_metric(snap, "pipeline.writes_merged").value, 3);
+  for (int dd = 0; dd < array.layout().cols(); ++dd)
+    array.disk(dd).faults().set_latency_ns(0);
+  std::vector<uint8_t> back(256);
+  array.read(0, back);
+  EXPECT_EQ(back, std::vector<uint8_t>(256, 0x11));
+}
+
+// ---------- the ordering property test ----------
+//
+// Seeded generator over deliberately overlapping byte ranges, several
+// submitter threads, merging on, several workers. After the fact, the
+// array must be bit-identical to a serial array that applied the same
+// writes in admission (sequence) order — and every read must equal the
+// serial prefix state of its range at its admission point.
+
+struct LoggedOp {
+  uint64_t seq = 0;
+  bool is_write = false;
+  int64_t offset = 0;
+  int64_t len = 0;
+  std::vector<uint8_t> data;  // payload (write) or observed bytes (read)
+};
+
+TEST(StripePipelineProperty, AnyScheduleEqualsSerialAdmissionOrder) {
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    obs::Registry reg;
+    ArrayOptions opts;
+    opts.stripe_lock_slots = 16;  // exercise the non-default table too
+    auto array = make_array(reg, /*stripes=*/8, opts);
+    const int64_t cap = array.capacity();
+    Pcg32 seed_rng(seed);
+    auto initial = random_blob(seed_rng, static_cast<size_t>(cap));
+    array.write(0, initial);
+
+    constexpr int kSubmitters = 3;
+    constexpr int kOpsPerSubmitter = 120;
+    std::vector<std::vector<LoggedOp>> logs(kSubmitters);
+    {
+      StripePipeline pipe(array, {.workers = 3,
+                                  .queue_depth = 64,
+                                  .merge_writes = true,
+                                  .merge_limit = 8});
+      std::vector<std::thread> subs;
+      for (int s = 0; s < kSubmitters; ++s) {
+        subs.emplace_back([&, s] {
+          Pcg32 rng(seed * 1000 + static_cast<uint64_t>(s));
+          std::vector<std::pair<OpFuture, size_t>> pending;
+          for (int i = 0; i < kOpsPerSubmitter; ++i) {
+            LoggedOp op;
+            op.is_write = rng.next_u32() % 3 != 0;  // 2:1 writes
+            // Cluster offsets into a quarter of the capacity so ranges
+            // genuinely collide across submitters.
+            const int64_t window = cap / 4;
+            const int64_t base = (rng.next_u32() % 2) * window;
+            op.offset =
+                base + static_cast<int64_t>(rng.next_u32() %
+                                            static_cast<uint32_t>(window));
+            op.len = 1 + static_cast<int64_t>(rng.next_u32() % 700);
+            op.len = std::min(op.len, cap - op.offset);
+            op.data.resize(static_cast<size_t>(op.len));
+            if (op.is_write) {
+              rng.fill_bytes(op.data.data(), op.data.size());
+              auto f = pipe.submit_write(op.offset, op.data);
+              op.seq = f.sequence();
+              logs[static_cast<size_t>(s)].push_back(std::move(op));
+              pending.emplace_back(std::move(f), 0);
+            } else {
+              logs[static_cast<size_t>(s)].push_back(std::move(op));
+              auto& slot = logs[static_cast<size_t>(s)].back();
+              auto f = pipe.submit_read(
+                  slot.offset, std::span<uint8_t>(slot.data.data(),
+                                                  slot.data.size()));
+              slot.seq = f.sequence();
+              pending.emplace_back(std::move(f),
+                                   logs[static_cast<size_t>(s)].size() - 1);
+            }
+            // Bounded in-flight window per submitter.
+            if (pending.size() >= 8) {
+              pending.front().first.get();
+              pending.erase(pending.begin());
+            }
+          }
+          for (auto& [f, idx] : pending) f.get();
+        });
+      }
+      for (auto& t : subs) t.join();
+      pipe.drain();
+    }
+
+    // Replay on a serial reference array in admission order.
+    obs::Registry ref_reg;
+    auto ref = make_array(ref_reg, /*stripes=*/8);
+    ref.write(0, initial);
+    std::vector<const LoggedOp*> all;
+    for (auto& l : logs)
+      for (auto& op : l) all.push_back(&op);
+    std::sort(all.begin(), all.end(),
+              [](const LoggedOp* a, const LoggedOp* b) {
+                return a->seq < b->seq;
+              });
+    for (const LoggedOp* op : all) {
+      if (op->is_write) ref.write(op->offset, op->data);
+      // (Reads don't mutate; per-read snapshot checks need a single
+      // submitter — see ReadsObserveSerialPrefixState below.)
+    }
+    std::vector<uint8_t> got(static_cast<size_t>(cap));
+    std::vector<uint8_t> want(static_cast<size_t>(cap));
+    array.read(0, got);
+    ref.read(0, want);
+    EXPECT_EQ(got, want) << "seed " << seed;
+    EXPECT_EQ(array.scrub(), 0) << "seed " << seed;
+  }
+}
+
+// With a single submitter, admission order == program order, so every
+// read must return exactly the bytes produced by the serial prefix of
+// writes before it — the range lock may not let any later overlapping
+// write sneak ahead, and the merge pass may not jump a queued read.
+TEST(StripePipelineProperty, ReadsObserveSerialPrefixState) {
+  for (uint64_t seed : {3u, 11u}) {
+    obs::Registry reg;
+    auto array = make_array(reg, /*stripes=*/8);
+    const int64_t cap = array.capacity();
+    Pcg32 seed_rng(seed);
+    auto initial = random_blob(seed_rng, static_cast<size_t>(cap));
+    array.write(0, initial);
+
+    obs::Registry ref_reg;
+    auto ref = make_array(ref_reg, /*stripes=*/8);
+    ref.write(0, initial);
+    std::vector<uint8_t> shadow = initial;  // serial prefix image
+
+    StripePipeline pipe(array, {.workers = 3,
+                                .queue_depth = 64,
+                                .merge_writes = true,
+                                .merge_limit = 8});
+    Pcg32 rng(seed * 77);
+    struct InFlight {
+      OpFuture f;
+      bool is_write;
+      int64_t offset;
+      std::vector<uint8_t> expect;       // reads: serial prefix bytes
+      std::vector<uint8_t>* dst;         // reads: where the pipeline wrote
+    };
+    std::vector<std::unique_ptr<std::vector<uint8_t>>> read_bufs;
+    std::vector<InFlight> pending;
+    auto settle = [&](size_t keep) {
+      while (pending.size() > keep) {
+        auto& p = pending.front();
+        p.f.get();
+        if (!p.is_write) {
+          EXPECT_EQ(*p.dst, p.expect);
+        }
+        pending.erase(pending.begin());
+      }
+    };
+    for (int i = 0; i < 250; ++i) {
+      const bool is_write = rng.next_u32() % 2 == 0;
+      const int64_t window = cap / 3;
+      const int64_t offset = static_cast<int64_t>(
+          rng.next_u32() % static_cast<uint32_t>(window));
+      const int64_t len = std::min(
+          1 + static_cast<int64_t>(rng.next_u32() % 600), cap - offset);
+      if (is_write) {
+        std::vector<uint8_t> d(static_cast<size_t>(len));
+        rng.fill_bytes(d.data(), d.size());
+        std::copy(d.begin(), d.end(),
+                  shadow.begin() + static_cast<size_t>(offset));
+        pending.push_back(
+            {pipe.submit_write(offset, d), true, offset, {}, nullptr});
+      } else {
+        read_bufs.push_back(std::make_unique<std::vector<uint8_t>>(
+            static_cast<size_t>(len)));
+        auto* buf = read_bufs.back().get();
+        std::vector<uint8_t> expect(
+            shadow.begin() + static_cast<size_t>(offset),
+            shadow.begin() + static_cast<size_t>(offset + len));
+        auto f = pipe.submit_read(offset,
+                                  std::span<uint8_t>(buf->data(), buf->size()));
+        pending.push_back({std::move(f), false, offset, std::move(expect),
+                           buf});
+      }
+      settle(6);
+    }
+    settle(0);
+    pipe.drain();
+    std::vector<uint8_t> got(static_cast<size_t>(cap));
+    array.read(0, got);
+    EXPECT_EQ(got, shadow) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dcode::raid
