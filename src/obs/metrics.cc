@@ -225,6 +225,30 @@ Registry& Registry::global() {
   return *r;
 }
 
+Registry::Registry(Registry* root, std::string prefix)
+    : root_(root), prefix_(std::move(prefix)) {}
+
+Registry& Registry::namespaced(const std::string& prefix) {
+  // All views hang off the root so nesting composes by concatenation and
+  // ownership stays in one place.
+  Registry& root = root_ ? *root_ : *this;
+  std::string full = prefix_ + prefix;
+  std::lock_guard<std::mutex> lock(root.mu_);
+  auto it = root.children_.find(full);
+  if (it == root.children_.end()) {
+    it = root.children_
+             .emplace(full, std::unique_ptr<Registry>(
+                                new Registry(&root, full)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool Registry::in_namespace(const std::string& name) const {
+  return name.size() >= prefix_.size() &&
+         name.compare(0, prefix_.size(), prefix_) == 0;
+}
+
 std::string Registry::key_of(const std::string& name, const Labels& labels) {
   std::string key = name;
   for (const auto& [k, v] : labels) {
@@ -263,6 +287,7 @@ Registry::Entry& Registry::find_or_create(MetricSnapshot::Kind kind,
 
 Counter& Registry::counter(const std::string& name, const Labels& labels,
                            const std::string& help) {
+  if (root_) return root_->counter(prefix_ + name, labels, help);
   Entry& e = find_or_create(MetricSnapshot::Kind::kCounter, name, labels,
                             help);
   if (!e.counter) e.counter = std::unique_ptr<Counter>(new Counter());
@@ -271,6 +296,7 @@ Counter& Registry::counter(const std::string& name, const Labels& labels,
 
 Gauge& Registry::gauge(const std::string& name, const Labels& labels,
                        const std::string& help) {
+  if (root_) return root_->gauge(prefix_ + name, labels, help);
   Entry& e = find_or_create(MetricSnapshot::Kind::kGauge, name, labels, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -279,6 +305,9 @@ Gauge& Registry::gauge(const std::string& name, const Labels& labels,
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<int64_t> bounds,
                                const Labels& labels, const std::string& help) {
+  if (root_) {
+    return root_->histogram(prefix_ + name, std::move(bounds), labels, help);
+  }
   Entry& e = find_or_create(MetricSnapshot::Kind::kHistogram, name, labels,
                             help);
   if (!e.histogram) {
@@ -291,6 +320,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 Registry::CollectorId Registry::add_collector(std::function<void()> fn) {
+  if (root_) return root_->add_collector(std::move(fn));
   std::lock_guard<std::mutex> lock(mu_);
   CollectorId id = next_collector_id_++;
   collectors_.emplace(id, std::move(fn));
@@ -298,16 +328,38 @@ Registry::CollectorId Registry::add_collector(std::function<void()> fn) {
 }
 
 void Registry::remove_collector(CollectorId id) {
+  if (root_) {
+    root_->remove_collector(id);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   collectors_.erase(id);
 }
 
 size_t Registry::size() const {
+  if (root_) {
+    std::lock_guard<std::mutex> lock(root_->mu_);
+    size_t n = 0;
+    for (const auto& e : root_->entries_) {
+      if (in_namespace(e->name)) ++n;
+    }
+    return n;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
 }
 
 RegistrySnapshot Registry::snapshot() const {
+  if (root_) {
+    // Runs every root collector (shared state refreshes regardless of
+    // which view is snapshotted), then keeps only this namespace.
+    RegistrySnapshot all = root_->snapshot();
+    RegistrySnapshot snap;
+    for (auto& m : all.metrics) {
+      if (in_namespace(m.name)) snap.metrics.push_back(std::move(m));
+    }
+    return snap;
+  }
   // Run collectors outside the lock: they update gauges (atomic) and may
   // not touch registration, so this only races benignly with writers.
   std::vector<std::function<void()>> collectors;
@@ -349,8 +401,10 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& e : entries_) {
+  Registry& root = root_ ? *root_ : *this;
+  std::lock_guard<std::mutex> lock(root.mu_);
+  for (const auto& e : root.entries_) {
+    if (root_ && !in_namespace(e->name)) continue;
     switch (e->kind) {
       case MetricSnapshot::Kind::kCounter: e->counter->reset(); break;
       case MetricSnapshot::Kind::kGauge: e->gauge->reset(); break;

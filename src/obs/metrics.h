@@ -215,6 +215,29 @@ class Registry {
   // The process-wide default registry the library layers register into.
   static Registry& global();
 
+  // Namespaced view: a child Registry whose registrations land in this
+  // registry (the root) with `prefix` prepended to every metric name, so
+  // a layer can hand each sub-component its own registry without string
+  // concatenation at call sites — e.g. a pool hands shard 3 the view
+  // `root.namespaced("shard3.")` and the shard's `raid.reads` shows up
+  // as `shard3.raid.reads` in the root.
+  //
+  // Semantics:
+  //   - counter/gauge/histogram delegate to the root under the prefixed
+  //     name; the same (prefixed name, labels) from root or child yields
+  //     the same metric object.
+  //   - snapshot()/write_*/size()/reset() on a child see only metrics in
+  //     its namespace (names keep the full prefix in expositions).
+  //   - add_collector/remove_collector delegate to the root: collectors
+  //     run on any snapshot, root or child.
+  //   - namespaced() nests: child.namespaced("x.") prefixes "<child>x.".
+  //   - The returned reference is owned by the root and lives as long as
+  //     the root; calling with the same prefix returns the same child.
+  Registry& namespaced(const std::string& prefix);
+
+  // Full name prefix of this view ("" for a root registry).
+  const std::string& prefix() const { return prefix_; }
+
   // Get-or-create. Re-registering the same (name, labels) returns the
   // same object; re-registering under a different kind (or different
   // histogram bounds) throws.
@@ -261,15 +284,25 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  // Child-view constructor used by namespaced().
+  Registry(Registry* root, std::string prefix);
+
   Entry& find_or_create(MetricSnapshot::Kind kind, const std::string& name,
                         const Labels& labels, const std::string& help);
   static std::string key_of(const std::string& name, const Labels& labels);
+  bool in_namespace(const std::string& name) const;
+
+  // Null for a root registry; the owning root for a namespaced view.
+  Registry* root_ = nullptr;
+  std::string prefix_;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;  // stable addresses
   std::map<std::string, Entry*> index_;
   std::map<CollectorId, std::function<void()>> collectors_;
   CollectorId next_collector_id_ = 1;
+  // Child views keyed by full prefix, owned by the root (guarded by mu_).
+  std::map<std::string, std::unique_ptr<Registry>> children_;
 };
 
 }  // namespace dcode::obs

@@ -1,9 +1,11 @@
-#include "raid/volume_manager.h"
+#include "volume/volume_manager.h"
 
 #include <algorithm>
 #include <cstring>
 
-namespace dcode::raid {
+#include "util/check.h"
+
+namespace dcode::volume {
 
 namespace {
 
@@ -25,20 +27,56 @@ size_t VolumeManager::superblock_bytes() {
          static_cast<size_t>(kMaxVolumes) * sizeof(RawEntry);
 }
 
-VolumeManager VolumeManager::format(Raid6Array& array) {
-  DCODE_CHECK(array.capacity() >
+VolumeManager::Target VolumeManager::target_of(raid::Raid6Array& array) {
+  return Target{
+      [&array](int64_t off, std::span<const uint8_t> d) {
+        array.write(off, d);
+      },
+      [&array](int64_t off, std::span<uint8_t> o) { array.read(off, o); },
+      [&array] { return array.capacity(); },
+  };
+}
+
+VolumeManager::Target VolumeManager::target_of(StoragePool& pool) {
+  return Target{
+      [&pool](int64_t off, std::span<const uint8_t> d) {
+        pool.write(off, d);
+      },
+      [&pool](int64_t off, std::span<uint8_t> o) { pool.read(off, o); },
+      [&pool] { return pool.capacity(); },
+  };
+}
+
+VolumeManager VolumeManager::format(Target target) {
+  DCODE_CHECK(target.capacity() >
                   static_cast<int64_t>(superblock_bytes()),
-              "array too small for a volume table");
-  VolumeManager vm(array);
+              "target too small for a volume table");
+  VolumeManager vm(std::move(target));
   vm.volumes_.clear();
   vm.persist();
   return vm;
 }
 
-VolumeManager VolumeManager::open(Raid6Array& array) {
-  VolumeManager vm(array);
+VolumeManager VolumeManager::format(raid::Raid6Array& array) {
+  return format(target_of(array));
+}
+
+VolumeManager VolumeManager::format(StoragePool& pool) {
+  return format(target_of(pool));
+}
+
+VolumeManager VolumeManager::open(Target target) {
+  VolumeManager vm(std::move(target));
   vm.load();
   return vm;
+}
+
+VolumeManager VolumeManager::open(raid::Raid6Array& array) {
+  return open(target_of(array));
+}
+
+VolumeManager VolumeManager::open(StoragePool& pool) {
+  return open(target_of(pool));
 }
 
 void VolumeManager::persist() {
@@ -59,17 +97,17 @@ void VolumeManager::persist() {
     std::memcpy(block.data() + off, &e, sizeof(e));
     off += sizeof(e);
   }
-  array_->write(0, block);
+  target_.write(0, block);
 }
 
 void VolumeManager::load() {
   std::vector<uint8_t> block(superblock_bytes());
-  array_->read(0, block);
+  target_.read(0, block);
   size_t off = 0;
   uint64_t magic = 0;
   std::memcpy(&magic, block.data() + off, sizeof(magic));
   off += sizeof(magic);
-  DCODE_CHECK(magic == kMagic, "no volume table on this array (format it?)");
+  DCODE_CHECK(magic == kMagic, "no volume table on this target (format it?)");
   uint32_t count = 0;
   std::memcpy(&count, block.data() + off, sizeof(count));
   off += sizeof(count);
@@ -85,7 +123,7 @@ void VolumeManager::load() {
     v.size = e.size;
     DCODE_CHECK(v.offset >= static_cast<int64_t>(superblock_bytes()) &&
                     v.size > 0 &&
-                    v.offset + v.size <= array_->capacity(),
+                    v.offset + v.size <= target_.capacity(),
                 "corrupt volume extent");
     volumes_.push_back(std::move(v));
   }
@@ -114,7 +152,7 @@ void VolumeManager::create(const std::string& name, int64_t size) {
     }
     cursor = v.offset + v.size;
   }
-  if (chosen < 0 && array_->capacity() - cursor >= size) chosen = cursor;
+  if (chosen < 0 && target_.capacity() - cursor >= size) chosen = cursor;
   DCODE_CHECK(chosen >= 0, "no contiguous extent of " + std::to_string(size) +
                                " bytes free");
 
@@ -145,7 +183,7 @@ void VolumeManager::write(const std::string& name, int64_t offset,
   DCODE_CHECK(offset >= 0 &&
                   offset + static_cast<int64_t>(data.size()) <= v.size,
               "write outside volume " + name);
-  array_->write(v.offset + offset, data);
+  target_.write(v.offset + offset, data);
 }
 
 void VolumeManager::read(const std::string& name, int64_t offset,
@@ -154,7 +192,7 @@ void VolumeManager::read(const std::string& name, int64_t offset,
   DCODE_CHECK(offset >= 0 && offset + static_cast<int64_t>(out.size()) <=
                                  v.size,
               "read outside volume " + name);
-  array_->read(v.offset + offset, out);
+  target_.read(v.offset + offset, out);
 }
 
 std::vector<VolumeInfo> VolumeManager::list() const { return volumes_; }
@@ -169,7 +207,7 @@ std::optional<VolumeInfo> VolumeManager::find(const std::string& name) const {
 int64_t VolumeManager::free_bytes() const {
   int64_t used = static_cast<int64_t>(superblock_bytes());
   for (const VolumeInfo& v : volumes_) used += v.size;
-  return array_->capacity() - used;
+  return target_.capacity() - used;
 }
 
 int64_t VolumeManager::largest_free_extent() const {
@@ -184,7 +222,7 @@ int64_t VolumeManager::largest_free_extent() const {
     best = std::max(best, v.offset - cursor);
     cursor = v.offset + v.size;
   }
-  return std::max(best, array_->capacity() - cursor);
+  return std::max(best, target_.capacity() - cursor);
 }
 
-}  // namespace dcode::raid
+}  // namespace dcode::volume

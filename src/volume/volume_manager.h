@@ -1,0 +1,96 @@
+// VolumeManager: named volumes on top of a StoragePool or Raid6Array.
+//
+// The thinnest useful storage frontend: a superblock at the start of the
+// backing store's logical space holds a volume table (name, offset,
+// size); volumes are contiguous byte extents allocated first-fit. The
+// superblock lives *inside* the protected data space, so volume metadata
+// enjoys the same two-disk-per-shard fault tolerance as the data —
+// open() after a failure/rebuild cycle sees the same volumes.
+//
+// The manager is written against a type-erased byte target, so the same
+// code runs over a single Raid6Array (the original substrate) or a
+// sharded StoragePool — where named volumes transparently span shards
+// and keep working through shard rebuilds and online capacity adds
+// (capacity is re-read from the target, so free_bytes()/create() see
+// space added by a completed restripe).
+//
+// This is deliberately a flat, fixed-size table (64 volumes, 32-byte
+// names): the point is a realistic consumer of the pool/array API (byte
+// addressing, degraded reads, journaled writes), not a filesystem.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "raid/raid6_array.h"
+#include "volume/storage_pool.h"
+
+namespace dcode::volume {
+
+struct VolumeInfo {
+  std::string name;
+  int64_t offset = 0;  // bytes, within the target's data space
+  int64_t size = 0;    // bytes
+};
+
+class VolumeManager {
+ public:
+  static constexpr int kMaxVolumes = 64;
+  static constexpr size_t kMaxNameLen = 31;
+
+  // The byte substrate the manager runs over. capacity() is consulted
+  // on every allocation, so a target that grows (pool restripe) makes
+  // the new space allocatable without reopening.
+  struct Target {
+    std::function<void(int64_t, std::span<const uint8_t>)> write;
+    std::function<void(int64_t, std::span<uint8_t>)> read;
+    std::function<int64_t()> capacity;
+  };
+
+  // Initializes an empty volume table (destroys existing metadata).
+  static VolumeManager format(raid::Raid6Array& array);
+  static VolumeManager format(StoragePool& pool);
+  static VolumeManager format(Target target);
+  // Loads an existing table; throws if the superblock is not recognized.
+  static VolumeManager open(raid::Raid6Array& array);
+  static VolumeManager open(StoragePool& pool);
+  static VolumeManager open(Target target);
+
+  // Creates a volume of `size` bytes; first-fit allocation. Throws on
+  // duplicate name, a full table, or insufficient contiguous space.
+  void create(const std::string& name, int64_t size);
+  // Removes a volume (its extent becomes reusable). Throws if unknown.
+  void remove(const std::string& name);
+
+  // Byte I/O within a volume; bounds-checked against the volume size.
+  void write(const std::string& name, int64_t offset,
+             std::span<const uint8_t> data);
+  void read(const std::string& name, int64_t offset, std::span<uint8_t> out);
+
+  std::vector<VolumeInfo> list() const;
+  std::optional<VolumeInfo> find(const std::string& name) const;
+
+  // Usable bytes not covered by any volume or the superblock.
+  int64_t free_bytes() const;
+  // Largest single volume that could be created right now.
+  int64_t largest_free_extent() const;
+
+ private:
+  explicit VolumeManager(Target target) : target_(std::move(target)) {}
+  static Target target_of(raid::Raid6Array& array);
+  static Target target_of(StoragePool& pool);
+  void persist();
+  void load();
+  const VolumeInfo& lookup(const std::string& name) const;
+
+  static size_t superblock_bytes();
+
+  Target target_;
+  std::vector<VolumeInfo> volumes_;
+};
+
+}  // namespace dcode::volume

@@ -146,4 +146,44 @@ inline ChaosSchedule make_concurrent_chaos_schedule(uint64_t seed,
   return sched;
 }
 
+// Pool schedule family: faults struck on ONE shard of a sharded
+// StoragePool while a throttled restripe is mid-migration and writers
+// hit every shard. Restricted to the families that interact with the
+// restripe watermark protocol — fail-stop (degraded chunk copies, spare
+// promotion racing the migrator) and power loss (the restripe worker
+// stands down and must resume after recovery) — plus quiet rounds so a
+// fault-free capacity add under load is exercised from the same seeds.
+// Field semantics differ from the array schedules: `disk` targets a
+// disk *within* the victim shard, and `disk2` is a raw victim-shard
+// selector the campaign reduces modulo the live shard count.
+inline ChaosSchedule make_pool_chaos_schedule(uint64_t seed, int rounds,
+                                              int disks_per_shard) {
+  ChaosSchedule sched;
+  sched.seed = seed;
+  Pcg32 rng(seed ^ 0xF001C0DEu);
+  sched.rounds.reserve(static_cast<size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    ChaosEvent ev;
+    switch (rng.next_below(6)) {
+      case 0:
+        ev.kind = ChaosFault::kNone;
+        break;
+      case 1:
+      case 2:
+      case 3:
+        ev.kind = ChaosFault::kFailStop;
+        break;
+      default:
+        ev.kind = ChaosFault::kPowerLoss;
+        ev.param = 1 + static_cast<int64_t>(rng.next_below(60));
+        break;
+    }
+    ev.disk = static_cast<int>(
+        rng.next_below(static_cast<uint32_t>(disks_per_shard)));
+    ev.disk2 = static_cast<int>(rng.next_below(4096));  // victim selector
+    sched.rounds.push_back(ev);
+  }
+  return sched;
+}
+
 }  // namespace dcode::raid

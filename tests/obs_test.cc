@@ -148,6 +148,62 @@ TEST(Registry, KindMismatchThrows) {
   EXPECT_THROW(reg.histogram("x.h", {1, 2, 3}), std::logic_error);
 }
 
+TEST(Registry, NamespacedViewPrefixesNamesIntoRoot) {
+  Registry root;
+  Registry& s0 = root.namespaced("shard0.");
+  Registry& s1 = root.namespaced("shard1.");
+  s0.counter("raid.reads").inc(3);
+  s1.counter("raid.reads").inc(5);
+  root.counter("pool.reads").inc(1);
+
+  // Same metric object whether reached through the view or the root.
+  EXPECT_EQ(&s0.counter("raid.reads"), &root.counter("shard0.raid.reads"));
+  EXPECT_EQ(root.counter("shard0.raid.reads").value(), 3);
+  EXPECT_EQ(root.counter("shard1.raid.reads").value(), 5);
+
+  // Same prefix returns the same view; views see only their namespace.
+  EXPECT_EQ(&root.namespaced("shard0."), &s0);
+  EXPECT_EQ(root.size(), 3u);
+  EXPECT_EQ(s0.size(), 1u);
+  RegistrySnapshot snap = s1.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 1u);
+  EXPECT_EQ(snap.metrics[0].name, "shard1.raid.reads");
+  EXPECT_EQ(snap.metrics[0].value, 5);
+}
+
+TEST(Registry, NamespacedViewsNestAndResetOnlyTheirNamespace) {
+  Registry root;
+  Registry& child = root.namespaced("a.");
+  Registry& grand = child.namespaced("b.");
+  EXPECT_EQ(grand.prefix(), "a.b.");
+  grand.counter("hits").inc(7);
+  EXPECT_EQ(root.counter("a.b.hits").value(), 7);
+
+  root.counter("other").inc(9);
+  child.reset();  // clears a.* only
+  EXPECT_EQ(root.counter("a.b.hits").value(), 0);
+  EXPECT_EQ(root.counter("other").value(), 9);
+
+  // Histograms and gauges delegate too, including the bounds check.
+  grand.histogram("h", {1, 2});
+  EXPECT_THROW(root.histogram("a.b.h", {1, 2, 3}), std::logic_error);
+  grand.gauge("g").set(4);
+  EXPECT_EQ(root.gauge("a.b.g").value(), 4);
+}
+
+TEST(Registry, NamespacedCollectorRunsOnAnyViewSnapshot) {
+  Registry root;
+  Registry& view = root.namespaced("s.");
+  Gauge& g = view.gauge("level");
+  auto id = view.add_collector([&g] { g.add(1); });
+  (void)view.snapshot();
+  (void)root.snapshot();  // root snapshots run the same collector set
+  EXPECT_EQ(root.gauge("s.level").value(), 2);
+  view.remove_collector(id);
+  (void)root.snapshot();
+  EXPECT_EQ(root.gauge("s.level").value(), 2);
+}
+
 TEST(Registry, SnapshotWhileWritingSeesConsistentMonotonicValues) {
   Registry reg;
   Counter& c = reg.counter("race.hits");

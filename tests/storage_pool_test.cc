@@ -1,0 +1,367 @@
+// StoragePool tests: chunk/shard address routing (property: pool-level
+// read(write(x)) == x across chunk boundaries, shard boundaries, and
+// mid-restripe), online capacity add, aggregated health and namespaced
+// metrics, and the end-to-end invariant — data written before a capacity
+// add reads back bit-identical during and after the background restripe
+// while one shard concurrently fails and rebuilds under traffic.
+//
+// The whole suite re-runs with DCODE_DISK_BACKEND=file (ctest leg
+// storage_pool_test_file_backend), so every property here holds on every
+// device backend.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "codes/registry.h"
+#include "util/rng.h"
+#include "volume/storage_pool.h"
+
+namespace dcode::volume {
+namespace {
+
+ShardSpec small_spec() {
+  ShardSpec spec;
+  spec.prime = 5;
+  spec.element_size = 512;
+  spec.stripes = 16;
+  return spec;
+}
+
+int64_t shard_capacity(const ShardSpec& spec) {
+  auto layout = codes::make_layout(spec.code, spec.prime);
+  return spec.stripes * layout->data_count() *
+         static_cast<int64_t>(spec.element_size);
+}
+
+PoolOptions chunked(const ShardSpec& spec, int chunks_per_shard) {
+  PoolOptions opts;
+  opts.chunk_bytes = shard_capacity(spec) / chunks_per_shard;
+  opts.pipeline.workers = 2;
+  return opts;
+}
+
+std::vector<uint8_t> random_bytes(size_t n, uint64_t seed) {
+  std::vector<uint8_t> out(n);
+  Pcg32 rng(seed);
+  rng.fill_bytes(out.data(), out.size());
+  return out;
+}
+
+TEST(StoragePool, CapacityAndRoutingShape) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  StoragePool pool(spec, 3, chunked(spec, 8), &reg);
+  EXPECT_EQ(pool.shard_count(), 3);
+  EXPECT_EQ(pool.capacity(), 3 * shard_capacity(spec));
+  EXPECT_EQ(pool.chunks_per_shard(), 8);
+  EXPECT_EQ(reg.gauge("pool.shards").value(), 3);
+  EXPECT_EQ(reg.gauge("pool.capacity_bytes").value(), pool.capacity());
+}
+
+// The core property: any sequence of pool writes reads back exactly, no
+// matter how the byte ranges land on chunk and shard boundaries. The
+// shadow is authoritative; ranges are drawn to hit boundaries often.
+TEST(StoragePool, ReadWriteRoundTripProperty) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  StoragePool pool(spec, 3, chunked(spec, 8), &reg);
+  const int64_t cap = pool.capacity();
+  const int64_t chunk = pool.chunk_bytes();
+  std::vector<uint8_t> shadow(static_cast<size_t>(cap), 0);
+  pool.write(0, shadow);  // known baseline
+
+  Pcg32 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    int64_t offset;
+    int64_t len;
+    switch (i % 4) {
+      case 0:  // straddle a chunk boundary
+        offset = (1 + static_cast<int64_t>(rng.next_u32()) %
+                          (cap / chunk - 1)) * chunk -
+                 1 - static_cast<int64_t>(rng.next_u32() % 64);
+        len = 2 + static_cast<int64_t>(rng.next_u32() % 128);
+        break;
+      case 1:  // whole chunks (shard-aligned fan-out)
+        offset = (static_cast<int64_t>(rng.next_u32()) % (cap / chunk)) * chunk;
+        len = chunk;
+        break;
+      case 2:  // multi-chunk span (crosses >= 2 shards)
+        offset = static_cast<int64_t>(rng.next_u32()) % (cap - 3 * chunk);
+        len = 2 * chunk + static_cast<int64_t>(rng.next_u32() % chunk);
+        break;
+      default:  // small random
+        offset = static_cast<int64_t>(rng.next_u32()) % (cap - 512);
+        len = 1 + static_cast<int64_t>(rng.next_u32() % 512);
+        break;
+    }
+    offset = std::clamp<int64_t>(offset, 0, cap - 1);
+    len = std::min(len, cap - offset);
+    std::vector<uint8_t> data =
+        random_bytes(static_cast<size_t>(len), 1000 + i);
+    if (rng.next_u32() % 2 == 0) {
+      pool.write(offset, data);
+      std::memcpy(shadow.data() + offset, data.data(), data.size());
+    }
+    std::vector<uint8_t> got(static_cast<size_t>(len));
+    pool.read(offset, got);
+    ASSERT_EQ(0, std::memcmp(got.data(), shadow.data() + offset,
+                             got.size()))
+        << "mismatch at offset " << offset << " len " << len;
+  }
+
+  // Full-space verify, then prove the traffic really fanned out.
+  std::vector<uint8_t> all(static_cast<size_t>(cap));
+  pool.read(0, all);
+  EXPECT_EQ(all, shadow);
+  for (int s = 0; s < pool.shard_count(); ++s) {
+    const std::string p = "shard" + std::to_string(s) + ".";
+    EXPECT_GT(reg.counter(p + "raid.writes").value(), 0) << p;
+  }
+  EXPECT_GT(reg.counter("pool.reads").value(), 0);
+  EXPECT_GT(reg.counter("pool.writes").value(), 0);
+  EXPECT_GT(reg.histogram("pool.op_fanout", {1, 2, 4, 8, 16, 32, 64})
+                .count(),
+            0);
+}
+
+TEST(StoragePool, OutOfRangeOpsRejected) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  StoragePool pool(spec, 2, chunked(spec, 8), &reg);
+  std::vector<uint8_t> buf(128);
+  EXPECT_THROW(pool.read(-1, buf), std::logic_error);
+  EXPECT_THROW(pool.write(pool.capacity() - 64, buf), std::logic_error);
+  EXPECT_NO_THROW(pool.read(pool.capacity() - 128, buf));
+}
+
+TEST(StoragePool, RestripePreservesDataAndGrowsCapacity) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  StoragePool pool(spec, 2, chunked(spec, 8), &reg);
+  const int64_t old_cap = pool.capacity();
+  std::vector<uint8_t> data = random_bytes(static_cast<size_t>(old_cap), 5);
+  pool.write(0, data);
+
+  pool.add_shard();
+  ASSERT_TRUE(pool.wait_for_restripe());
+  EXPECT_EQ(pool.shard_count(), 3);
+  EXPECT_EQ(pool.capacity(), 3 * shard_capacity(spec));
+  EXPECT_EQ(pool.restripe_watermark(), 2 * pool.chunks_per_shard());
+
+  std::vector<uint8_t> got(static_cast<size_t>(old_cap));
+  pool.read(0, got);
+  EXPECT_EQ(got, data);
+
+  // The grown space is usable and independent.
+  std::vector<uint8_t> extra =
+      random_bytes(static_cast<size_t>(pool.capacity() - old_cap), 6);
+  pool.write(old_cap, extra);
+  std::vector<uint8_t> extra_got(extra.size());
+  pool.read(old_cap, extra_got);
+  EXPECT_EQ(extra_got, extra);
+  pool.read(0, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(pool.scrub_all(), 0);
+  EXPECT_GT(reg.counter("pool.restripe.chunks_moved").value(), 0);
+}
+
+// Mid-restripe the watermark splits the space between old and new
+// placement; reads must be bit-identical on both sides of the front, and
+// writes must land wherever the chunk currently routes.
+TEST(StoragePool, MidRestripeReadsAndWritesAreBitIdentical) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  PoolOptions opts = chunked(spec, 16);  // 32 chunks to migrate
+  opts.restripe_rate_chunks_per_sec = 60.0;  // ~0.5 s of mid-flight window
+  opts.restripe_burst_chunks = 1.0;
+  StoragePool pool(spec, 2, opts, &reg);
+  const int64_t cap = pool.capacity();
+  std::vector<uint8_t> shadow = random_bytes(static_cast<size_t>(cap), 9);
+  pool.write(0, shadow);
+
+  pool.add_shard();
+  Pcg32 rng(10);
+  bool saw_mid_flight = false;
+  std::vector<uint8_t> got(static_cast<size_t>(cap));
+  while (pool.restripe_in_progress()) {
+    const int64_t wm = pool.restripe_watermark();
+    if (wm > 0 && wm < 2 * pool.chunks_per_shard()) saw_mid_flight = true;
+    // Full-space read: covers chunks on both sides of the watermark.
+    pool.read(0, got);
+    ASSERT_EQ(got, shadow);
+    // Random small write, immediately verified.
+    const int64_t offset = static_cast<int64_t>(rng.next_u32()) % (cap - 256);
+    std::vector<uint8_t> patch = random_bytes(256, 11 + wm);
+    pool.write(offset, patch);
+    std::memcpy(shadow.data() + offset, patch.data(), patch.size());
+  }
+  ASSERT_TRUE(pool.wait_for_restripe());
+  EXPECT_TRUE(saw_mid_flight);
+  pool.read(0, got);
+  EXPECT_EQ(got, shadow);
+  EXPECT_EQ(pool.scrub_all(), 0);
+}
+
+TEST(StoragePool, AggregatedHealthCountsShardStates) {
+  ShardSpec spec = small_spec();
+  spec.hot_spares = 1;
+  spec.array.background_rebuild = true;
+  obs::Registry reg;
+  StoragePool pool(spec, 3, chunked(spec, 8), &reg);
+
+  PoolHealth before = pool.health();
+  EXPECT_EQ(before.shards.size(), 3u);
+  EXPECT_EQ(before.degraded_shards, 0);
+  EXPECT_EQ(before.crashed_shards, 0);
+
+  pool.shard_array(1).fail_disk(2);  // promotes the spare, rebuilds
+  ASSERT_TRUE(pool.shard_array(1).wait_for_rebuild());
+  PoolHealth after = pool.health();
+  EXPECT_EQ(after.degraded_shards, 0);  // spare promoted and rebuilt
+  EXPECT_EQ(after.shards[1].hot_spares, 0);
+  EXPECT_EQ(after.shards[0].hot_spares, 1);
+
+  // The collector publishes the same view as pool.* gauges.
+  (void)reg.snapshot();
+  EXPECT_EQ(reg.gauge("pool.degraded_shards").value(), 0);
+  EXPECT_GT(reg.counter("shard1.raid.spare_promotions").value(), 0);
+}
+
+// The acceptance invariant: data written before a capacity add reads
+// back bit-identical during and after the background restripe, with one
+// shard concurrently failing and rebuilding while the pool serves
+// traffic from multiple threads.
+TEST(StoragePool, CapacityAddSurvivesShardRebuildUnderTraffic) {
+  ShardSpec spec = small_spec();
+  spec.stripes = 32;
+  spec.hot_spares = 1;
+  spec.array.background_rebuild = true;
+  spec.array.rebuild_rate_stripes_per_sec = 150.0;  // keep rebuild in-flight
+  obs::Registry reg;
+  PoolOptions opts = chunked(spec, 16);  // 48 chunks to migrate
+  opts.restripe_rate_chunks_per_sec = 120.0;
+  opts.restripe_burst_chunks = 1.0;
+  StoragePool pool(spec, 3, opts, &reg);
+  const int64_t cap = pool.capacity();
+
+  // Region plan: [0, frozen_end) is written once and never touched again
+  // (the "data written before capacity add"); [frozen_end, cap) belongs
+  // to the writer thread.
+  const int64_t frozen_end = cap / 2 / pool.chunk_bytes() *
+                             pool.chunk_bytes();
+  std::vector<uint8_t> frozen =
+      random_bytes(static_cast<size_t>(frozen_end), 21);
+  pool.write(0, frozen);
+  std::vector<uint8_t> writer_region(static_cast<size_t>(cap - frozen_end),
+                                     0);
+  pool.write(frozen_end, writer_region);
+
+  pool.add_shard();
+  // Fail a disk in shard 1 while the restripe is mid-flight: the hot
+  // spare promotes and the background rebuild runs concurrently.
+  pool.shard_array(1).fail_disk(2);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_mismatches{0};
+  std::atomic<bool> failed_op{false};
+
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      Pcg32 rng(100 + static_cast<uint64_t>(t));
+      std::vector<uint8_t> buf;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t len =
+            std::min<int64_t>(4096, frozen_end);
+        const int64_t offset =
+            static_cast<int64_t>(rng.next_u32()) % (frozen_end - len + 1);
+        buf.resize(static_cast<size_t>(len));
+        try {
+          pool.read(offset, buf);
+        } catch (...) {
+          failed_op.store(true);
+          return;
+        }
+        if (std::memcmp(buf.data(), frozen.data() + offset,
+                        buf.size()) != 0) {
+          reader_mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  traffic.emplace_back([&] {
+    Pcg32 rng(200);
+    uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int64_t len = std::min<int64_t>(8192, cap - frozen_end);
+      const int64_t offset =
+          frozen_end + static_cast<int64_t>(rng.next_u32()) %
+                           (cap - frozen_end - len + 1);
+      std::vector<uint8_t> data =
+          random_bytes(static_cast<size_t>(len), 300 + round++);
+      try {
+        pool.write(offset, data);
+        std::memcpy(writer_region.data() + (offset - frozen_end),
+                    data.data(), data.size());
+      } catch (...) {
+        failed_op.store(true);
+        return;
+      }
+    }
+  });
+
+  // Let traffic overlap both the restripe and the rebuild, then finish
+  // the migration at full speed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(pool.restripe_in_progress() ||
+              pool.restripe_watermark() > 0);
+  pool.set_restripe_rate(0.0);  // unthrottle
+  ASSERT_TRUE(pool.wait_for_restripe());
+  stop.store(true);
+  for (auto& th : traffic) th.join();
+
+  ASSERT_FALSE(failed_op.load());
+  EXPECT_EQ(reader_mismatches.load(), 0);
+  ASSERT_TRUE(pool.wait_for_rebuilds());
+
+  // Bit-identical after: the frozen region, the writer's last state, and
+  // a clean pool-wide scrub on the grown pool.
+  EXPECT_EQ(pool.shard_count(), 4);
+  EXPECT_EQ(pool.capacity(), 4 * shard_capacity(spec));
+  std::vector<uint8_t> got(static_cast<size_t>(frozen_end));
+  pool.read(0, got);
+  EXPECT_EQ(got, frozen);
+  std::vector<uint8_t> wgot(writer_region.size());
+  pool.read(frozen_end, wgot);
+  EXPECT_EQ(wgot, writer_region);
+  EXPECT_EQ(pool.scrub_all(), 0);
+  PoolHealth h = pool.health();
+  EXPECT_EQ(h.degraded_shards, 0);
+  EXPECT_FALSE(h.restriping);
+  EXPECT_GT(reg.counter("shard1.raid.spare_promotions").value(), 0);
+  EXPECT_GT(reg.counter("pool.restripe.chunks_moved").value(), 0);
+}
+
+TEST(StoragePool, AddShardWhileRestripingRejected) {
+  ShardSpec spec = small_spec();
+  obs::Registry reg;
+  PoolOptions opts = chunked(spec, 8);
+  opts.restripe_rate_chunks_per_sec = 20.0;  // slow enough to catch
+  opts.restripe_burst_chunks = 1.0;
+  StoragePool pool(spec, 2, opts, &reg);
+  pool.add_shard();
+  if (pool.restripe_in_progress()) {
+    EXPECT_THROW(pool.add_shard(), std::logic_error);
+  }
+  pool.set_restripe_rate(0.0);
+  ASSERT_TRUE(pool.wait_for_restripe());
+  EXPECT_NO_THROW(pool.add_shard());
+  ASSERT_TRUE(pool.wait_for_restripe());
+  EXPECT_EQ(pool.shard_count(), 4);
+}
+
+}  // namespace
+}  // namespace dcode::volume

@@ -1,19 +1,28 @@
 // Tests for the VolumeManager: allocation, persistence through the
-// array's own protected space (including across failures and rebuilds),
-// and bounds enforcement.
+// backing store's own protected space (including across failures and
+// rebuilds), bounds enforcement, and the pool-backed mode where named
+// volumes span shards and see restriped capacity.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "codes/registry.h"
-#include "raid/volume_manager.h"
 #include "util/rng.h"
+#include "volume/volume_manager.h"
 
-namespace dcode::raid {
+namespace dcode::volume {
 namespace {
 
-Raid6Array make_array() {
-  return Raid6Array(codes::make_layout("dcode", 7), 512, 16, 1);
+raid::Raid6Array make_array() {
+  return raid::Raid6Array(codes::make_layout("dcode", 7), 512, 16, 1);
+}
+
+ShardSpec small_spec() {
+  ShardSpec spec;
+  spec.prime = 5;
+  spec.element_size = 512;
+  spec.stripes = 8;
+  return spec;
 }
 
 TEST(VolumeManager, FormatCreateListRemove) {
@@ -153,5 +162,68 @@ TEST(VolumeManager, MetadataSurvivesDoubleFailureAndRebuild) {
   EXPECT_EQ(array.scrub(), 0);
 }
 
+// --- Pool-backed mode ------------------------------------------------------
+
+TEST(VolumeManager, PoolBackedVolumesSpanShards) {
+  ShardSpec spec = small_spec();
+  PoolOptions opts;
+  // Small chunks so a modest volume necessarily crosses shards.
+  opts.chunk_bytes = 2048;
+  obs::Registry reg;
+  StoragePool pool(spec, 3, opts, &reg);
+
+  auto vm = VolumeManager::format(pool);
+  // Big enough that the extent necessarily covers chunks on every shard.
+  const int64_t vol_size = pool.capacity() / 2;
+  vm.create("spanning", vol_size);
+
+  Pcg32 rng(7);
+  std::vector<uint8_t> data(static_cast<size_t>(vol_size));
+  rng.fill_bytes(data.data(), data.size());
+  vm.write("spanning", 0, data);
+  std::vector<uint8_t> out(data.size());
+  vm.read("spanning", 0, out);
+  EXPECT_EQ(out, data);
+
+  // The extent really did fan out: every shard saw reads and writes.
+  for (int s = 0; s < pool.shard_count(); ++s) {
+    const std::string p = "shard" + std::to_string(s) + ".";
+    EXPECT_GT(reg.counter(p + "raid.writes").value(), 0) << p;
+    EXPECT_GT(reg.counter(p + "raid.reads").value(), 0) << p;
+  }
+
+  // Reopen over the same pool: the superblock (itself striped across
+  // shards) round-trips.
+  auto vm2 = VolumeManager::open(pool);
+  ASSERT_TRUE(vm2.find("spanning").has_value());
+  vm2.read("spanning", 0, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(VolumeManager, PoolCapacityAddBecomesAllocatable) {
+  ShardSpec spec = small_spec();
+  PoolOptions opts;
+  opts.chunk_bytes = 2048;
+  obs::Registry reg;
+  StoragePool pool(spec, 2, opts, &reg);
+
+  auto vm = VolumeManager::format(pool);
+  const int64_t capacity_before = pool.capacity();
+  // Fill everything so the next create must use grown space.
+  vm.create("old", vm.largest_free_extent());
+  EXPECT_THROW(vm.create("wont_fit", 4096), std::logic_error);
+
+  pool.add_shard();
+  ASSERT_TRUE(pool.wait_for_restripe());
+  EXPECT_GT(pool.capacity(), capacity_before);
+  // The manager sees the grown capacity without reopening.
+  EXPECT_GE(vm.free_bytes(), pool.capacity() - capacity_before);
+  vm.create("grown", 4096);  // allocates in the restriped space
+  std::vector<uint8_t> blob(4096, 0x5C), out(4096);
+  vm.write("grown", 0, blob);
+  vm.read("grown", 0, out);
+  EXPECT_EQ(out, blob);
+}
+
 }  // namespace
-}  // namespace dcode::raid
+}  // namespace dcode::volume
