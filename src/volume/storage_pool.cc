@@ -127,6 +127,15 @@ StoragePool::Placement StoragePool::place_with(int64_t chunk, int shards,
 }
 
 StoragePool::Placement StoragePool::place(int64_t chunk) const {
+  // Load shard_count_ BEFORE restriping_. add_shard() publishes
+  // restriping_=true (release) before shard_count_=n+1 (release), so a
+  // thread whose acquire load here returns the new count is guaranteed
+  // to also read restriping_==true (or false only after finish_restripe,
+  // when both placements agree) and take the watermark branch. The
+  // inverted order admits restriping_==false (stale) followed by
+  // shard_count_==n+1 (fresh): the chunk would route with the new
+  // placement while nothing has migrated.
+  const int count = shard_count_.load(std::memory_order_acquire);
   if (restriping_.load(std::memory_order_acquire)) {
     const int n =
         chunk < restripe_watermark_.load(std::memory_order_acquire)
@@ -134,8 +143,7 @@ StoragePool::Placement StoragePool::place(int64_t chunk) const {
             : route_old_.load(std::memory_order_acquire);
     return place_with(chunk, n, chunk_bytes_);
   }
-  return place_with(chunk, shard_count_.load(std::memory_order_acquire),
-                    chunk_bytes_);
+  return place_with(chunk, count, chunk_bytes_);
 }
 
 void StoragePool::run_op(bool is_write, int64_t offset,
@@ -148,68 +156,93 @@ void StoragePool::run_op(bool is_write, int64_t offset,
               "pool op out of range: offset " + std::to_string(offset) +
                   " len " + std::to_string(len));
   if (len == 0) return;
+  // Shared side of the restart gate: restart_all() takes it exclusive
+  // so no foreground op can reach a restarted shard before its journal
+  // has been replayed.
+  std::shared_lock<std::shared_mutex> gate(io_gate_);
   const int64_t t0 = now_ns();
   const int64_t first_chunk = offset / chunk_bytes_;
   const int64_t last_chunk = (offset + len - 1) / chunk_bytes_;
 
-  // Lock every covered chunk-lock slot once, in ascending slot order
-  // (dedup avoids self-deadlock on modulo collisions, ordering avoids
-  // lock cycles between concurrent ops).
-  std::vector<size_t> slots;
+  // Covered chunks are processed in windows of at most kWindowSlots
+  // simultaneously-held slot locks: a chunk's slot lock is held while
+  // its segment is in flight (so the migrator never copies under it),
+  // but a pool-capacity-sized op no longer pins every slot in the table
+  // at once — which would stall the whole pool and overflow TSan's
+  // 64-held-locks deadlock-detector capacity. Within a window the slots
+  // are distinct (window <= slot_count, consecutive chunks map to
+  // consecutive slots) and locked in ascending order; all are released
+  // before the next window is taken, so the lock graph stays acyclic.
   const size_t slot_count = chunk_locks_.slot_count();
-  if (static_cast<uint64_t>(last_chunk - first_chunk) + 1 >= slot_count) {
-    slots.resize(slot_count);
-    for (size_t i = 0; i < slot_count; ++i) slots[i] = i;
-  } else {
-    for (int64_t c = first_chunk; c <= last_chunk; ++c) {
+  const size_t window =
+      std::min<size_t>(slot_count, static_cast<size_t>(kWindowSlots));
+  uint64_t shard_mask = 0;
+  std::exception_ptr error;
+  std::vector<size_t> slots;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<raid::OpFuture> futures;
+  for (int64_t w = first_chunk; w <= last_chunk && !error;
+       w += static_cast<int64_t>(window)) {
+    const int64_t w_last =
+        std::min(last_chunk, w + static_cast<int64_t>(window) - 1);
+    slots.clear();
+    for (int64_t c = w; c <= w_last; ++c) {
       slots.push_back(static_cast<size_t>(c) % slot_count);
     }
     std::sort(slots.begin(), slots.end());
-    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
-  }
-  const int64_t lock_t0 = now_ns();
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(slots.size());
-  for (size_t slot : slots) {
-    locks.push_back(chunk_locks_.lock(static_cast<int64_t>(slot)));
-  }
-  metrics_.chunk_lock_wait_ns->observe(now_ns() - lock_t0);
-
-  // Placement is stable for every covered chunk while the locks are
-  // held: the migrator advances a chunk's routing only under its lock.
-  std::vector<raid::OpFuture> futures;
-  futures.reserve(static_cast<size_t>(last_chunk - first_chunk) + 1);
-  uint64_t shard_mask = 0;
-  for (int64_t c = first_chunk; c <= last_chunk; ++c) {
-    const int64_t seg_begin = std::max(offset, c * chunk_bytes_);
-    const int64_t seg_end = std::min(offset + len, (c + 1) * chunk_bytes_);
-    const Placement p = place(c);
-    const int64_t shard_off = p.offset + (seg_begin - c * chunk_bytes_);
-    const size_t buf_off = static_cast<size_t>(seg_begin - offset);
-    const size_t seg_len = static_cast<size_t>(seg_end - seg_begin);
-    Shard& shard = *shards_[static_cast<size_t>(p.shard)];
-    shard_mask |= uint64_t{1} << p.shard;
-    if (is_write) {
-      futures.push_back(shard.pipeline->submit_write(
-          shard_off, wbuf.subspan(buf_off, seg_len)));
-    } else {
-      futures.push_back(shard.pipeline->submit_read(
-          shard_off, rbuf.subspan(buf_off, seg_len)));
+    const int64_t lock_t0 = now_ns();
+    locks.clear();
+    locks.reserve(slots.size());
+    for (size_t slot : slots) {
+      locks.push_back(chunk_locks_.lock(static_cast<int64_t>(slot)));
     }
-  }
+    metrics_.chunk_lock_wait_ns->observe(now_ns() - lock_t0);
 
-  // Wait for *every* segment before releasing the chunk locks (a chunk
-  // must not migrate under an in-flight segment), keeping the first
-  // error to rethrow.
-  std::exception_ptr error;
-  for (raid::OpFuture& f : futures) {
+    // Placement is stable for every chunk of the window while its locks
+    // are held: the migrator advances a chunk's routing only under its
+    // lock.
+    futures.clear();
+    futures.reserve(static_cast<size_t>(w_last - w) + 1);
     try {
-      f.get();
+      for (int64_t c = w; c <= w_last; ++c) {
+        const int64_t seg_begin = std::max(offset, c * chunk_bytes_);
+        const int64_t seg_end =
+            std::min(offset + len, (c + 1) * chunk_bytes_);
+        const Placement p = place(c);
+        const int64_t shard_off = p.offset + (seg_begin - c * chunk_bytes_);
+        const size_t buf_off = static_cast<size_t>(seg_begin - offset);
+        const size_t seg_len = static_cast<size_t>(seg_end - seg_begin);
+        Shard& shard = *shards_[static_cast<size_t>(p.shard)];
+        shard_mask |= uint64_t{1} << p.shard;
+        if (is_write) {
+          futures.push_back(shard.pipeline->submit_write(
+              shard_off, wbuf.subspan(buf_off, seg_len)));
+        } else {
+          futures.push_back(shard.pipeline->submit_read(
+              shard_off, rbuf.subspan(buf_off, seg_len)));
+        }
+      }
     } catch (...) {
-      if (!error) error = std::current_exception();
+      // submit_read/submit_write can throw (pipeline shutting down).
+      // The window's chunk locks must outlive every segment already in
+      // flight — unwinding past them would let the migrator copy a
+      // chunk under an in-flight op — so settle those futures first.
+      for (raid::OpFuture& f : futures) f.wait();
+      throw;
     }
+
+    // Wait for every segment of the window before releasing its chunk
+    // locks (a chunk must not migrate under an in-flight segment),
+    // keeping the first error to rethrow; later windows are skipped.
+    for (raid::OpFuture& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    locks.clear();
   }
-  locks.clear();
 
   metrics_.op_fanout->observe(
       static_cast<int64_t>(std::popcount(shard_mask)));
@@ -253,6 +286,10 @@ int StoragePool::flush() {
 // --- Online capacity add ---------------------------------------------------
 
 void StoragePool::add_shard() {
+  // Serialize against other admin ops: without the mutex two concurrent
+  // add_shard() calls could both pass the restriping_ check and race on
+  // the shards_[n] slot and the routing publication.
+  std::lock_guard<std::mutex> admin(admin_mu_);
   const int n = shard_count();
   DCODE_CHECK(!restriping_.load(std::memory_order_acquire),
               "a restripe is already pending; wait_for_restripe() (and "
@@ -263,9 +300,10 @@ void StoragePool::add_shard() {
   DCODE_CHECK(shard->array->capacity() == chunks_per_shard_ * chunk_bytes_,
               "new shard capacity mismatch");
 
-  // Publish the restripe routing state *before* the new shard count:
-  // an op that already sees n+1 shards must also see restriping_ set,
-  // or it would route chunks with the new placement prematurely.
+  // Publish the restripe routing state *before* the new shard count;
+  // place() pairs with this by loading shard_count_ before restriping_,
+  // so an op that already sees n+1 shards must also see restriping_ set
+  // and cannot route chunks with the new placement prematurely.
   restripe_chunks_.store(n * chunks_per_shard_, std::memory_order_relaxed);
   restripe_watermark_.store(0, std::memory_order_relaxed);
   route_old_.store(n, std::memory_order_relaxed);
@@ -423,18 +461,25 @@ int StoragePool::restart_all() {
   // stale parity error into its delta, and its commit closes the
   // crash's open intent — the inconsistency becomes invisible to
   // recovery and multi-element, so repair-scrub can't localize it.
-  // The migrator is exactly such a writer, so it is paused across
-  // restart + replay and only then allowed to continue.
+  // Two kinds of writer can race that window: the migrator, paused
+  // across restart + replay and only then allowed to continue, and
+  // foreground pool ops, held off by the exclusive side of io_gate_
+  // (run_op holds it shared for the op's whole lifetime, so acquiring
+  // it exclusively also waits out every op already in flight).
+  std::lock_guard<std::mutex> admin(admin_mu_);
   pause_restripe();
   int restarted = 0;
-  const int n = shard_count();
-  for (int i = 0; i < n; ++i) {
-    raid::Raid6Array& a = *shards_[static_cast<size_t>(i)]->array;
-    const bool crashed = a.crashed();
-    a.restart();  // clears a consumed crash and an unconsumed budget alike
-    if (crashed) {
-      if (a.journal_enabled()) a.journal_recover();
-      ++restarted;
+  {
+    std::unique_lock<std::shared_mutex> gate(io_gate_);
+    const int n = shard_count();
+    for (int i = 0; i < n; ++i) {
+      raid::Raid6Array& a = *shards_[static_cast<size_t>(i)]->array;
+      const bool crashed = a.crashed();
+      a.restart();  // clears a consumed crash and an unconsumed budget alike
+      if (crashed) {
+        if (a.journal_enabled()) a.journal_recover();
+        ++restarted;
+      }
     }
   }
   resume_restripe();

@@ -34,11 +34,22 @@
 //     completes — exposing it earlier would hand out addresses whose
 //     new placement still holds un-migrated chunks.
 //
-// Foreground ops lock every chunk-lock slot they cover (distinct slots
-// in ascending order) and hold them across the shard futures, so a
-// chunk is never migrated while an op is mid-flight on it. Pipeline
-// workers and the migrator never take chunk locks they don't already
-// hold, so the lock graph is acyclic.
+// Foreground ops take the chunk-lock slots they cover in bounded
+// windows (<= kWindowSlots held at once, ascending within a window,
+// all released before the next window) and hold each window's locks
+// across its shard futures, so a chunk is never migrated while a
+// segment is in flight on it. Pipeline workers and the migrator never
+// take chunk locks they don't already hold, so the lock graph is
+// acyclic. Multi-chunk ops are not atomic as a whole — concurrent
+// overlapping ops may interleave at window granularity, the same
+// torn-read contract as any block device spanning sectors.
+//
+// read()/write() are safe from many threads. The admin operations —
+// add_shard() and restart_all() — are serialized against each other
+// internally; restart_all() additionally quiesces foreground pool I/O
+// (and the migrator) across restart + journal replay. I/O issued
+// directly through shard_pipeline()/shard_array() bypasses that gate
+// and must not run concurrently with restart_all().
 #pragma once
 
 #include <array>
@@ -47,6 +58,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -102,6 +114,12 @@ struct PoolHealth {
 class StoragePool {
  public:
   static constexpr int kMaxShards = 64;
+  // Max chunk-lock slots a foreground op holds simultaneously: large
+  // ops take their covered slots in windows of this size (ascending
+  // within a window, fully released between windows), so one op never
+  // pins the whole lock table — and never exceeds TSan's 64-held-locks
+  // deadlock-detector capacity on the tsan CI leg.
+  static constexpr int kWindowSlots = 48;
 
   // `registry` hosts the pool.* metrics and the per-shard namespaced
   // views; nullptr means the process-global obs::Registry.
@@ -136,7 +154,9 @@ class StoragePool {
   // Attaches one more shard (same ShardSpec) and starts the background
   // restripe. Throws if a restripe is already running (or stalled) or
   // the pool is at kMaxShards. Capacity grows when the restripe
-  // completes; I/O continues throughout.
+  // completes; I/O continues throughout. Concurrent admin calls are
+  // serialized: of two racing add_shard() calls one attaches and the
+  // other throws (restripe already pending).
   void add_shard();
   // Blocks until the restripe worker stands down. Returns true when the
   // restripe completed (false = stalled on a crash/unrecoverable shard;
@@ -159,13 +179,17 @@ class StoragePool {
 
   PoolHealth health() const;
 
-  // Pool reboot after power loss: pauses the migrator, restarts every
-  // shard (clearing a consumed crash and an unconsumed injected budget
-  // alike), replays the journal of each shard that actually crashed —
-  // replay must precede any new write to that shard, or an RMW write
-  // would carry the torn stripe's stale parity forward and close the
-  // crash's open intent behind it — then lets a pending restripe
-  // continue. Returns the number of crashed shards restarted.
+  // Pool reboot after power loss: pauses the migrator AND gates out
+  // foreground pool I/O (in-flight ops drain, new ones block), restarts
+  // every shard (clearing a consumed crash and an unconsumed injected
+  // budget alike), replays the journal of each shard that actually
+  // crashed — replay must precede any new write to that shard, or an
+  // RMW write would carry the torn stripe's stale parity forward and
+  // close the crash's open intent behind it — then reopens the gate and
+  // lets a pending restripe continue. Safe to call with concurrent
+  // read()/write() traffic; I/O issued directly through
+  // shard_pipeline()/shard_array() is NOT gated. Returns the number of
+  // crashed shards restarted.
   int restart_all();
   // Journal recovery on every journaled shard; total stripes repaired.
   int64_t journal_recover_all();
@@ -250,7 +274,9 @@ class StoragePool {
   std::atomic<int64_t> capacity_{0};
 
   // Restripe routing state. All four are published (release) before the
-  // new shard count; per-chunk accuracy comes from the chunk locks, not
+  // new shard count, and place() pairs with that by loading shard_count_
+  // before restriping_ — seeing the new count therefore implies seeing
+  // restriping_ set. Per-chunk accuracy comes from the chunk locks, not
   // from cross-field atomicity.
   std::atomic<bool> restriping_{false};
   std::atomic<int> route_old_{0};   // shard count of the old placement
@@ -259,6 +285,14 @@ class StoragePool {
   std::atomic<int64_t> restripe_chunks_{0};  // chunks to migrate (old total)
 
   raid::StripeLockTable chunk_locks_;
+
+  // Serializes admin operations (add_shard, restart_all) against each
+  // other. Never taken by the I/O or migrator paths.
+  std::mutex admin_mu_;
+  // Restart gate: run_op holds it shared for an op's whole lifetime;
+  // restart_all holds it exclusive across restart + journal replay so
+  // no foreground write can land on a torn stripe before recovery.
+  std::shared_mutex io_gate_;
 
   // Restripe worker: at most one thread, resumable after a stall.
   mutable std::mutex restripe_mu_;
