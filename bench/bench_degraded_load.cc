@@ -51,6 +51,34 @@ double measure_runtime_degraded_read_mb_s(const std::string& backend) {
   return static_cast<double>(blob.size()) * iters / secs / (1024.0 * 1024.0);
 }
 
+// Verify-on-read A/B: healthy sequential read throughput with
+// ArrayOptions::verify_reads on (the default) vs off, same array shape
+// and content. The difference is the per-read cost of hashing every
+// element against its sidecar record — the number pinned in
+// docs/robustness.md's integrity section.
+double measure_runtime_read_mb_s(bool verify) {
+  const size_t esize = 8 * 1024;
+  const int64_t stripes = 32;
+  raid::ArrayOptions opts;
+  opts.verify_reads = verify;
+  raid::Raid6Array array(codes::make_layout("dcode", 11), esize, stripes, 0,
+                         nullptr, std::move(opts));
+  Pcg32 rng(0x1F0D);
+  std::vector<uint8_t> blob(static_cast<size_t>(array.capacity()));
+  rng.fill_bytes(blob.data(), blob.size());
+  array.write(0, blob);
+
+  std::vector<uint8_t> out(blob.size());
+  array.read(0, out);  // warmup
+  DCODE_CHECK(out == blob, "healthy read returned wrong data");
+  const int iters = 5;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) array.read(0, out);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(blob.size()) * iters / secs / (1024.0 * 1024.0);
+}
+
 // Repair-mode scrub wall time: corrupt one element in each of several
 // stripes through the device backdoor, then time the syndrome-localizing
 // scrub pass that finds and rewrites them all.
@@ -218,6 +246,21 @@ int main(int argc, char** argv) {
   telemetry.add("runtime_transient_burst_read_ms", burst_ms,
                 {{"code", "dcode"}, {"p", "11"}, {"burst", "2"}});
   heal.print(std::cout);
+
+  std::cout << "\n-- Runtime: verify-on-read overhead (dcode, p=11, "
+               "healthy sequential read) --\n";
+  const double off_mb_s = measure_runtime_read_mb_s(false);
+  const double on_mb_s = measure_runtime_read_mb_s(true);
+  const double overhead_pct = (off_mb_s / on_mb_s - 1.0) * 100.0;
+  TablePrinter vr({"verify-on-read", "MB/s"});
+  vr.add_row({"off", format_double(off_mb_s, 0)});
+  vr.add_row({"on", format_double(on_mb_s, 0)});
+  vr.print(std::cout);
+  std::cout << "overhead: " << format_double(overhead_pct, 1) << "%\n";
+  const obs::Labels vcell = {{"code", "dcode"}, {"p", "11"}};
+  telemetry.add("runtime_read_mb_s_verify_off", off_mb_s, vcell);
+  telemetry.add("runtime_read_mb_s_verify_on", on_mb_s, vcell);
+  telemetry.add("verify_on_read_overhead_pct", overhead_pct, vcell);
 
   telemetry.finish();
   return 0;

@@ -61,6 +61,7 @@ const char* to_string(FlightEventKind kind) {
     case FlightEventKind::kHealthTransition: return "health_transition";
     case FlightEventKind::kSlowOp: return "slow_op";
     case FlightEventKind::kRebuildStripe: return "rebuild_stripe";
+    case FlightEventKind::kIntegrityMismatch: return "integrity_mismatch";
     case FlightEventKind::kCustom: return "custom";
   }
   return "?";

@@ -42,6 +42,8 @@ enum class FlightEventKind : uint16_t {
   kHealthTransition, // disk health state change     a=old b=new state
   kSlowOp,           // op over slow_op_threshold_ns a=latency_ns b=threshold
   kRebuildStripe,    // stripe rebuilt onto a spare  a=stripe
+  kIntegrityMismatch,// verify-on-read condemned an
+                     // element                      a=element b=verdict
   kCustom,           // caller-defined               a,b free
 };
 

@@ -74,6 +74,49 @@ struct ArrayMetrics {
     scrub_stripes_unrepairable = &registry.counter(
         "raid.scrub.stripes_unrepairable", {},
         "inconsistent stripes repair-mode scrub could not localize");
+    scrub_stripes_skipped_degraded = &registry.counter(
+        "raid.scrub.stripes_skipped_degraded", {},
+        "inconsistent stripes scrub could not attempt (degraded "
+        "equations: a member disk is dead)");
+    scrub_family_disagreements = &registry.counter(
+        "raid.scrub.family_disagreements", {},
+        "inconsistent stripes whose two parity-family syndromes "
+        "disagreed (repairable only via checksums)");
+    scrub_checksum_located = &registry.counter(
+        "raid.scrub.checksum_located", {},
+        "corrupted elements localized via the checksum sidecar (subset "
+        "of elements_located)");
+    scrub_elements_stale = &registry.counter(
+        "raid.scrub.elements_stale", {},
+        "elements whose payload matched their previous checksum (lost "
+        "or stale writes found by scrub)");
+    scrub_stripes_stale = &registry.counter(
+        "raid.scrub.stripes_stale", {},
+        "parity-consistent stripes flagged stale by identity tags "
+        "(whole-stripe lost write; reported, not repaired)");
+    integrity_elements_verified = &registry.counter(
+        "raid.integrity.elements_verified", {},
+        "element payloads checksum-verified on read");
+    integrity_mismatch_corrupt = &registry.counter(
+        "raid.integrity.read_mismatches", {{"kind", "corrupt"}},
+        "verify-on-read verdicts: payload matches no known checksum "
+        "(torn write or bit rot)");
+    integrity_mismatch_misdirected = &registry.counter(
+        "raid.integrity.read_mismatches", {{"kind", "misdirected"}},
+        "verify-on-read verdicts: payload is another element's current "
+        "content (write landed on the wrong LBA)");
+    integrity_mismatch_stale = &registry.counter(
+        "raid.integrity.read_mismatches", {{"kind", "stale"}},
+        "verify-on-read verdicts: payload is this element's previous "
+        "content (lost/stale write)");
+    integrity_read_fallbacks = &registry.counter(
+        "raid.integrity.read_fallbacks", {},
+        "reads re-served from parity after verify-on-read condemned an "
+        "element");
+    integrity_write_repairs = &registry.counter(
+        "raid.integrity.write_repairs", {},
+        "stripes cleaned in the write path after a verified pre-read "
+        "failed integrity");
     journal_intents_opened =
         &registry.counter("raid.journal.intents_opened", {},
                           "write-intent records newly opened");
@@ -161,6 +204,17 @@ struct ArrayMetrics {
   obs::Counter* scrub_elements_located;
   obs::Counter* scrub_elements_repaired;
   obs::Counter* scrub_stripes_unrepairable;
+  obs::Counter* scrub_stripes_skipped_degraded;
+  obs::Counter* scrub_family_disagreements;
+  obs::Counter* scrub_checksum_located;
+  obs::Counter* scrub_elements_stale;
+  obs::Counter* scrub_stripes_stale;
+  obs::Counter* integrity_elements_verified;
+  obs::Counter* integrity_mismatch_corrupt;
+  obs::Counter* integrity_mismatch_misdirected;
+  obs::Counter* integrity_mismatch_stale;
+  obs::Counter* integrity_read_fallbacks;
+  obs::Counter* integrity_write_repairs;
   obs::Counter* journal_intents_opened;
   obs::Counter* journal_commits;
   obs::Counter* journal_replayed_stripes;

@@ -23,7 +23,8 @@ using codes::Stripe;
 using ReadOp = StripeIoEngine::ReadOp;
 using WriteOp = StripeIoEngine::WriteOp;
 
-void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
+void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out,
+                                      bool verify) {
   const CodeLayout& layout = *layout_;
   std::vector<Element> lost;
   std::vector<ReadOp> rops;
@@ -41,7 +42,7 @@ void Raid6Array::load_stripe_degraded(int64_t stripe, Stripe& out) {
       }
     }
   }
-  engine_.read_batch(rops);
+  engine_.read_batch(rops, verify);
   if (!lost.empty()) {
     auto res = codes::hybrid_decode(out, lost);
     DCODE_CHECK(res.success, "stripe unrecoverable (more than two failures)");

@@ -60,6 +60,9 @@ class FaultInjectingDevice : public BlockDevice {
     std::unique_lock<std::shared_mutex> lock(inner_mu_);
     inner_ = std::move(blank);
     transient_remaining_.store(0, std::memory_order_relaxed);
+    misdirected_remaining_.store(0, std::memory_order_relaxed);
+    torn_remaining_.store(0, std::memory_order_relaxed);
+    lost_remaining_.store(0, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_release);
     failed_.store(false, std::memory_order_release);
   }
@@ -88,6 +91,52 @@ class FaultInjectingDevice : public BlockDevice {
     latency_ns_.store(ns, std::memory_order_relaxed);
   }
 
+  // --- wrong-path writes --------------------------------------------------
+  // The silent write-failure families parity cannot express: every one of
+  // these acknowledges the write as fully complete (the caller sees
+  // success, accounting and checksum recording proceed normally) while
+  // the platter ends up with something else. Composable with the
+  // latency/transient/fail-stop knobs above — intercept() still runs
+  // first, so a transient burst can precede a lost write, etc.
+  //
+  // The next `count` writes land at (offset + offset_delta) mod the
+  // writable range instead of the requested offset — a misdirected write.
+  // Keep offset_delta a multiple of the element size to model a firmware
+  // LBA slip; unaligned deltas model head-placement scribble.
+  void inject_misdirected_writes(int64_t count, uint64_t offset_delta) {
+    DCODE_CHECK(count >= 0, "misdirected write count must be non-negative");
+    misdirect_delta_.store(offset_delta, std::memory_order_relaxed);
+    misdirected_remaining_.store(count, std::memory_order_relaxed);
+  }
+  // The next `count` writes persist only the first keep_bytes bytes of
+  // their payload (torn intra-element write), acknowledged complete.
+  void inject_torn_writes(int64_t count, size_t keep_bytes) {
+    DCODE_CHECK(count >= 0, "torn write count must be non-negative");
+    torn_keep_bytes_.store(keep_bytes, std::memory_order_relaxed);
+    torn_remaining_.store(count, std::memory_order_relaxed);
+  }
+  // The next `count` writes are dropped entirely (lost write),
+  // acknowledged complete.
+  void inject_lost_writes(int64_t count) {
+    DCODE_CHECK(count >= 0, "lost write count must be non-negative");
+    lost_remaining_.store(count, std::memory_order_relaxed);
+  }
+  int64_t pending_wrong_path_writes() const {
+    return std::max<int64_t>(
+               0, misdirected_remaining_.load(std::memory_order_relaxed)) +
+           std::max<int64_t>(0,
+                             torn_remaining_.load(std::memory_order_relaxed)) +
+           std::max<int64_t>(0,
+                             lost_remaining_.load(std::memory_order_relaxed));
+  }
+  // Disarms any unconsumed wrong-path budget (campaign quiesce: repair
+  // writes must actually land).
+  void clear_wrong_path_writes() {
+    misdirected_remaining_.store(0, std::memory_order_relaxed);
+    torn_remaining_.store(0, std::memory_order_relaxed);
+    lost_remaining_.store(0, std::memory_order_relaxed);
+  }
+
   // --- silent corruption --------------------------------------------------
   // Flips bytes in [offset, offset+len) through the inner device without
   // reporting any error — the condition scrubbing exists to catch. Does
@@ -112,6 +161,7 @@ class FaultInjectingDevice : public BlockDevice {
   IoResult do_write(uint64_t offset, std::span<const uint8_t> in) override {
     if (IoResult r = intercept(); !r.ok()) return r;
     std::shared_lock<std::shared_mutex> lock(inner_mu_);
+    if (wrong_path_armed()) return wrong_path_write(offset, in);
     return inner_->write(offset, in);
   }
   IoResult do_readv(uint64_t offset, std::span<const IoVec> iov) override {
@@ -123,6 +173,17 @@ class FaultInjectingDevice : public BlockDevice {
                      std::span<const ConstIoVec> iov) override {
     if (IoResult r = intercept(); !r.ok()) return r;
     std::shared_lock<std::shared_mutex> lock(inner_mu_);
+    if (wrong_path_armed()) {
+      // Flatten so one armed fault applies to the whole transfer, same
+      // as the single-range path (only taken while a fault is armed).
+      std::vector<uint8_t> flat(total_len(iov));
+      size_t at = 0;
+      for (const ConstIoVec& v : iov) {
+        std::copy_n(v.data, v.len, flat.data() + at);
+        at += v.len;
+      }
+      return wrong_path_write(offset, flat);
+    }
     return inner_->writev(offset, iov);
   }
   IoResult do_flush() override {
@@ -152,6 +213,44 @@ class FaultInjectingDevice : public BlockDevice {
     return IoResult::success(0);
   }
 
+  static bool dec_if_positive(std::atomic<int64_t>& c) {
+    return c.load(std::memory_order_relaxed) > 0 &&
+           c.fetch_sub(1, std::memory_order_relaxed) > 0;
+  }
+
+  bool wrong_path_armed() const {
+    return misdirected_remaining_.load(std::memory_order_relaxed) > 0 ||
+           torn_remaining_.load(std::memory_order_relaxed) > 0 ||
+           lost_remaining_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Applies the armed wrong-path fault to one flattened write. Caller
+  // holds inner_mu_ shared. Every branch acknowledges the full length —
+  // that lie is the fault being modeled.
+  IoResult wrong_path_write(uint64_t offset, std::span<const uint8_t> in) {
+    if (dec_if_positive(lost_remaining_)) {
+      return IoResult::success(in.size());  // dropped on the floor
+    }
+    if (dec_if_positive(torn_remaining_)) {
+      const size_t keep =
+          std::min(torn_keep_bytes_.load(std::memory_order_relaxed),
+                   in.size());
+      if (keep > 0) {
+        IoResult r = inner_->write(offset, in.subspan(0, keep));
+        if (!r.ok()) return r;
+      }
+      return IoResult::success(in.size());
+    }
+    if (dec_if_positive(misdirected_remaining_)) {
+      const uint64_t span = size() - in.size();  // bounds pre-checked
+      const uint64_t delta = misdirect_delta_.load(std::memory_order_relaxed);
+      const uint64_t wrong = span == 0 ? 0 : (offset + delta) % (span + 1);
+      IoResult r = inner_->write(wrong, in);
+      return r.ok() ? IoResult::success(in.size()) : r;
+    }
+    return inner_->write(offset, in);  // lost the arm race: normal write
+  }
+
   // Guards inner_ against replace() while ops are in flight; the sleep in
   // intercept() happens before the lock so latency injection never holds
   // it.
@@ -161,6 +260,11 @@ class FaultInjectingDevice : public BlockDevice {
   std::atomic<uint64_t> generation_{0};
   std::atomic<int64_t> transient_remaining_{0};
   std::atomic<int64_t> latency_ns_{0};
+  std::atomic<int64_t> misdirected_remaining_{0};
+  std::atomic<uint64_t> misdirect_delta_{0};
+  std::atomic<int64_t> torn_remaining_{0};
+  std::atomic<size_t> torn_keep_bytes_{0};
+  std::atomic<int64_t> lost_remaining_{0};
 };
 
 }  // namespace dcode::raid

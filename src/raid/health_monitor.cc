@@ -60,6 +60,7 @@ void HealthMonitor::age_window_locked(PerDisk& d) {
   d.ops_in_window /= 2;
   d.transients /= 2;
   d.slow_ops /= 2;
+  d.checksum_mismatches /= 2;
 }
 
 bool HealthMonitor::evaluate_locked(PerDisk& d) {
@@ -70,7 +71,10 @@ bool HealthMonitor::evaluate_locked(PerDisk& d) {
                               d.transients >= policy_.fail_transients;
   const bool slow_fail =
       policy_.fail_slow_ops > 0 && d.slow_ops >= policy_.fail_slow_ops;
-  if (transient_fail || slow_fail) {
+  const bool checksum_fail =
+      policy_.fail_checksum_mismatches > 0 &&
+      d.checksum_mismatches >= policy_.fail_checksum_mismatches;
+  if (transient_fail || slow_fail || checksum_fail) {
     set_state_locked(d, DiskHealth::kFailed);
     escalations_->inc();
     return true;
@@ -79,7 +83,11 @@ bool HealthMonitor::evaluate_locked(PerDisk& d) {
                                  d.transients >= policy_.suspect_transients;
   const bool slow_suspect =
       policy_.suspect_slow_ops > 0 && d.slow_ops >= policy_.suspect_slow_ops;
-  if (d.state == DiskHealth::kHealthy && (transient_suspect || slow_suspect)) {
+  const bool checksum_suspect =
+      policy_.suspect_checksum_mismatches > 0 &&
+      d.checksum_mismatches >= policy_.suspect_checksum_mismatches;
+  if (d.state == DiskHealth::kHealthy &&
+      (transient_suspect || slow_suspect || checksum_suspect)) {
     set_state_locked(d, DiskHealth::kSuspect);
     suspects_->inc();
   }
@@ -107,6 +115,18 @@ void HealthMonitor::record_transient(int disk) {
     std::lock_guard<std::mutex> lock(d.mu);
     age_window_locked(d);
     ++d.transients;
+    escalated = evaluate_locked(d);
+  }
+  if (escalated) fire_escalation(disk);
+}
+
+void HealthMonitor::record_checksum_mismatch(int disk) {
+  PerDisk& d = *disks_[static_cast<size_t>(disk)];
+  bool escalated = false;
+  {
+    std::lock_guard<std::mutex> lock(d.mu);
+    age_window_locked(d);
+    ++d.checksum_mismatches;
     escalated = evaluate_locked(d);
   }
   if (escalated) fire_escalation(disk);
@@ -150,6 +170,7 @@ void HealthMonitor::mark_healthy(int disk) {
   d.ops_in_window = 0;
   d.transients = 0;
   d.slow_ops = 0;
+  d.checksum_mismatches = 0;
   set_state_locked(d, DiskHealth::kHealthy);
 }
 
@@ -169,6 +190,12 @@ int64_t HealthMonitor::slow_ops_in_window(int disk) const {
   const PerDisk& d = *disks_[static_cast<size_t>(disk)];
   std::lock_guard<std::mutex> lock(d.mu);
   return d.slow_ops;
+}
+
+int64_t HealthMonitor::checksum_mismatches_in_window(int disk) const {
+  const PerDisk& d = *disks_[static_cast<size_t>(disk)];
+  std::lock_guard<std::mutex> lock(d.mu);
+  return d.checksum_mismatches;
 }
 
 }  // namespace dcode::raid

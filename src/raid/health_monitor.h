@@ -53,6 +53,13 @@ struct HealthPolicy {
                                // (0 disables latency tracking)
   int suspect_slow_ops = 8;    // slow ops in window: healthy -> suspect
   int fail_slow_ops = 0;       // slow ops in window: -> failed (0 = never)
+  // Verify-on-read checksum/identity mismatches (corrupt, misdirected or
+  // stale payloads). A disk returning wrong bytes is more alarming than
+  // one returning errors, so the suspect bar is lower; auto-fail stays
+  // off by default — the integrity paths recover the data from parity,
+  // and condemning the whole disk is an operator policy, not a given.
+  int suspect_checksum_mismatches = 2;
+  int fail_checksum_mismatches = 0;
 };
 
 class HealthMonitor {
@@ -68,6 +75,10 @@ class HealthMonitor {
   // --- outcome feed (engine threads; thread-safe) --------------------------
   void record_success(int disk, int64_t latency_ns);
   void record_transient(int disk);
+  // Verify-on-read condemned an element this disk served (the payload
+  // hashed wrong): a silent-corruption outcome, tallied separately from
+  // transients because the device *reported success* and lied.
+  void record_checksum_mismatch(int disk);
   // A hard failure observed (fail-stop result or retry exhaustion):
   // transitions straight to kFailed and fires the escalation callback if
   // this is a new episode.
@@ -84,6 +95,7 @@ class HealthMonitor {
   DiskHealth state(int disk) const;
   int64_t transients_in_window(int disk) const;
   int64_t slow_ops_in_window(int disk) const;
+  int64_t checksum_mismatches_in_window(int disk) const;
   const HealthPolicy& policy() const { return policy_; }
   int disk_count() const { return static_cast<int>(disks_.size()); }
 
@@ -94,6 +106,7 @@ class HealthMonitor {
     int64_t ops_in_window = 0;
     int64_t transients = 0;
     int64_t slow_ops = 0;
+    int64_t checksum_mismatches = 0;
     obs::Gauge* health_gauge = nullptr;
   };
 

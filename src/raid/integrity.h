@@ -1,0 +1,191 @@
+// The per-element integrity channel: content checksums + write-identity
+// tags, independent of parity.
+//
+// Parity syndromes can localize a corrupt element only when both parity
+// families agree, and they are structurally blind to three failure
+// modes real drives exhibit: a *misdirected* write (payload lands on the
+// wrong LBA — two stripes wrong, both internally parity-consistent after
+// repair elsewhere), a *lost* write (acknowledged but never persisted —
+// the old payload is perfectly well-formed), and a *stale* full stripe
+// (every element old but mutually consistent). The ChecksumStore closes
+// that gap: for every device element it keeps
+//
+//   sum   — XXH64 of the element payload as last acknowledged,
+//   prev  — the sum the element held before that write (the stale
+//           candidate: a lost write leaves the device serving exactly
+//           this content),
+//   tag   — a write-identity tag packing (generation, stripe, row, role)
+//           so scrub can tell *which* logical write an element belongs
+//           to, not just whether its bytes hash right.
+//
+// Classification on a read whose payload hashes to `h`:
+//
+//   h == sum                     kOk           payload is current
+//   tag == 0                     kUntracked    element never written
+//   h == prev                    kStale        lost / stale write
+//   h == some other element's    kMisdirected  write landed on the
+//        sum on this device                    wrong LBA
+//   otherwise                    kCorrupt      torn write or bit rot
+//
+// The store is updated strictly *after* the device acknowledges a write
+// (record-after-write): if the device lies — accepts the write and drops
+// it — the store remembers the new sum while the platter serves the old
+// payload, which is precisely how lost writes become detectable.
+//
+// Persistence: MemDisk stores stay in memory; FileDisk stores attach a
+// sidecar file. Each element owns two 40-byte slots written alternately
+// (sequence-numbered dual slots), each slot self-checksummed with the
+// element index as seed — a torn sidecar write invalidates only the slot
+// being written, the loader falls back to the other, and a sidecar
+// record that ends up at the wrong element offset fails its seed check.
+// Crash consistency therefore needs no ordering guarantees from the
+// filesystem beyond single-pwrite atomicity *per byte*: any prefix of a
+// slot write leaves a bad self-checksum, never a wrong-but-valid record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "raid/block_device.h"
+
+namespace dcode::raid {
+
+enum class IntegrityVerdict {
+  kOk = 0,
+  kUntracked,   // element has no recorded write; nothing to verify
+  kCorrupt,     // payload matches neither current nor any known sum
+  kMisdirected, // payload is another element's current content
+  kStale,       // payload is this element's *previous* content
+};
+
+const char* to_string(IntegrityVerdict v);
+
+// Thrown by the engine when verify-on-read condemns an element. Derives
+// from DiskFailedError so every existing catch site treats it as "this
+// disk cannot serve this element" — the safe default — while integrity-
+// aware paths (read failover, write repair) catch it first and recover
+// from parity instead of failing the disk.
+class ElementIntegrityError : public DiskFailedError {
+ public:
+  ElementIntegrityError(int disk, int64_t stripe, int row,
+                        IntegrityVerdict verdict)
+      : DiskFailedError(disk), stripe_(stripe), row_(row), verdict_(verdict) {}
+  int64_t stripe() const { return stripe_; }
+  int row() const { return row_; }
+  IntegrityVerdict verdict() const { return verdict_; }
+
+ private:
+  int64_t stripe_;
+  int row_;
+  IntegrityVerdict verdict_;
+};
+
+// Write-identity tag: (generation << 32) | stripe:20 | row:8 | role:4.
+// generation counts acknowledged writes to the element (starts at 1, so
+// tag == 0 always means "untracked"); role is the element's coding role
+// (0 = data, 1.. = parity family index + 1) so scrub can cross-check
+// that a sidecar record describes the element it sits on.
+constexpr uint64_t make_tag(uint32_t generation, int64_t stripe, int row,
+                            int role) {
+  return (static_cast<uint64_t>(generation) << 32) |
+         ((static_cast<uint64_t>(stripe) & 0xFFFFF) << 12) |
+         ((static_cast<uint64_t>(row) & 0xFF) << 4) |
+         (static_cast<uint64_t>(role) & 0xF);
+}
+constexpr uint32_t tag_generation(uint64_t tag) {
+  return static_cast<uint32_t>(tag >> 32);
+}
+constexpr int64_t tag_stripe(uint64_t tag) {
+  return static_cast<int64_t>((tag >> 12) & 0xFFFFF);
+}
+constexpr int tag_row(uint64_t tag) {
+  return static_cast<int>((tag >> 4) & 0xFF);
+}
+constexpr int tag_role(uint64_t tag) { return static_cast<int>(tag & 0xF); }
+
+namespace detail {
+// Partial-count-safe positional I/O used by the sidecar (and tested
+// directly: pread/pwrite may legally transfer fewer bytes than asked).
+// pread_fully returns false on EOF-before-n or error; pwrite_fully
+// returns false on error. Both retry EINTR and short counts.
+bool pread_fully(int fd, void* buf, size_t n, int64_t offset);
+bool pwrite_fully(int fd, const void* buf, size_t n, int64_t offset);
+}  // namespace detail
+
+// One disk's integrity records. Thread contract: at most one writer per
+// element at a time (the array's stripe locks already guarantee this);
+// readers are unrestricted — each record is a seqlock over atomics.
+class ChecksumStore {
+ public:
+  explicit ChecksumStore(int64_t elements);
+  ~ChecksumStore();
+
+  ChecksumStore(const ChecksumStore&) = delete;
+  ChecksumStore& operator=(const ChecksumStore&) = delete;
+
+  int64_t elements() const { return elements_; }
+
+  struct Snapshot {
+    uint64_t sum = 0;
+    uint64_t prev = 0;
+    uint64_t tag = 0;
+    bool tracked() const { return tag != 0; }
+  };
+
+  Snapshot load(int64_t element) const;
+
+  // Records an acknowledged write: current sum becomes prev, the new sum
+  // and identity land, the generation advances. Call *after* the device
+  // acks. `stripe`/`row`/`role` form the identity half of the tag.
+  void record(int64_t element, uint64_t sum, int64_t stripe, int row,
+              int role);
+
+  // Re-derives the record from known-good content (journal replay,
+  // scrub repair, degraded reconstruction). Clears prev — the previous
+  // payload is unknowable after reconstruction, so stale detection
+  // starts over rather than false-positive.
+  void resync(int64_t element, uint64_t sum, int64_t stripe, int row,
+              int role);
+
+  // Classifies a payload hash against this disk's records (table above).
+  IntegrityVerdict classify(int64_t element, uint64_t payload_sum) const;
+
+  // Forgets everything (disk replaced with a blank: no history survives).
+  void invalidate_all();
+
+  // --- persistence (FileDisk sidecars) ---------------------------------
+  // Attaches (creating or loading) a sidecar file. Existing valid slots
+  // populate the in-memory records; subsequent record/resync calls write
+  // through. Throws std::runtime_error on open/format errors.
+  void attach_file(const std::string& path);
+  bool persistent() const { return fd_ >= 0; }
+  void flush();
+
+  // Raw slot access for crash/torn-slot tests: byte offset of (element,
+  // slot) in the sidecar file, and the slot payload size.
+  static int64_t slot_offset(int64_t element, int slot);
+  static constexpr size_t kSlotBytes = 40;
+
+ private:
+  struct Record {
+    std::atomic<uint64_t> seq{0};  // seqlock; odd = writer active
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> prev{0};
+    std::atomic<uint64_t> tag{0};
+  };
+
+  void store_locked(int64_t element, uint64_t sum, uint64_t prev,
+                    uint64_t tag);
+  void persist(int64_t element, uint64_t sum, uint64_t prev, uint64_t tag,
+               uint64_t seq);
+
+  int64_t elements_;
+  std::unique_ptr<Record[]> recs_;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace dcode::raid

@@ -179,6 +179,22 @@ Raid6Array::Raid6Array(std::unique_ptr<CodeLayout> layout,
                   /*retry_backoff_max_ns=*/5'000'000,
                   options.retry_deadline_ns,
                   /*backoff_seed=*/0x5EEDBACCu,
+                  options.integrity_checksums,
+                  options.verify_reads,
+                  options.integrity_sidecar_dir,
+                  // Write-identity role for the sidecar tags: invert the
+                  // stripe rotation to the logical column, then ask the
+                  // layout. map_/layout_ are constructed above; the
+                  // engine only calls this from write paths, never
+                  // during construction.
+                  [this](int d, int64_t stripe, int row) {
+                    for (int c = 0; c < layout_->cols(); ++c) {
+                      if (map_.physical_disk(stripe, c) == d) {
+                        return layout_->is_parity(row, c) ? 1 : 0;
+                      }
+                    }
+                    return 0;
+                  },
               }),
       health_(layout_->cols(), options.health,
               registry != nullptr ? *registry : obs::Registry::global()),
@@ -403,6 +419,11 @@ void Raid6Array::write_stripe_rmw(int64_t stripe, int64_t g,
       }
       engine_.write_batch(wops);
       return;
+    } catch (const ElementIntegrityError&) {
+      // A condemned parity pre-read: replaying won't help (the platter
+      // holds a stale/foreign value) — surface to write()'s integrity
+      // handler, which repairs the stripe in place and retries.
+      throw;
     } catch (const DiskFailedError&) {
       // More failures than the code tolerates would loop forever; at that
       // point the array is lost anyway — surface the error.
@@ -452,6 +473,7 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
     // watermark takes the fast RMW path while stripes ahead of it
     // rewrite around the rebuilding disk. A disk failing mid-write
     // surfaces as DiskFailedError — re-plan and retry (failover).
+    bool salvage = false;
     for (int attempt = 0;; ++attempt) {
       std::unique_lock<std::mutex> lock = stripe_lock(stripe);
       bool stripe_degraded = false;
@@ -459,12 +481,30 @@ void Raid6Array::write(int64_t offset, std::span<const uint8_t> data) {
         stripe_degraded |= disk_degraded_for_stripe(d, stripe);
       }
       try {
-        if (stripe_degraded) {
+        if (salvage) {
+          salvage_stripe_rewrite(stripe, g, stripe_end, offset, data);
+        } else if (stripe_degraded) {
           write_stripe_degraded(stripe, g, stripe_end, offset, data);
         } else {
           write_stripe_rmw(stripe, g, stripe_end, offset, data);
         }
         break;
+      } catch (const ElementIntegrityError&) {
+        // An RMW pre-read (old data or old parity) failed verification.
+        // Folding a condemned old value into a parity delta would fold
+        // the corruption INTO parity, so repair the stripe in place
+        // (we hold its lock) and retry the update against clean state.
+        // If the in-place repair cannot converge (a mid-update stripe
+        // where the condemned column's equations hold pre-update
+        // parity), escalate to the salvage rewrite, which uses the
+        // caller's buffer instead of RMW deltas.
+        if (attempt >= kMaxFailoverAttempts) throw;
+        metrics_.failovers->inc();
+        if (attempt == 0 && !salvage) {
+          clean_stripe_integrity(stripe);
+        } else {
+          salvage = true;
+        }
       } catch (const DiskFailedError&) {
         if (attempt >= kMaxFailoverAttempts) throw;
         metrics_.failovers->inc();
@@ -520,11 +560,22 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
   const int64_t last = (offset + static_cast<int64_t>(out.size()) - 1) / esize;
 
   const int64_t last_stripe = last / layout_->data_count();
+  // Disks verify-on-read has condemned an element of during THIS op:
+  // planned around like failed disks, so the data comes from parity
+  // (which is correct — parity took the write the platter lost). The set
+  // is op-local; scrub owns the durable repair.
+  std::vector<int> suspects;
   auto collect_failed = [&] {
     std::vector<int> failed;
     for (int d = 0; d < layout_->cols(); ++d) {
       if (disk_degraded_for_range(d, last_stripe)) failed.push_back(d);
     }
+    for (int d : suspects) {
+      if (std::find(failed.begin(), failed.end(), d) == failed.end()) {
+        failed.push_back(d);
+      }
+    }
+    std::sort(failed.begin(), failed.end());
     return failed;
   };
   std::vector<int> failed = collect_failed();
@@ -546,6 +597,18 @@ void Raid6Array::read(int64_t offset, std::span<uint8_t> out) {
         read_degraded(first, last, offset, out, failed);
       }
       return;
+    } catch (const ElementIntegrityError& e) {
+      // Must precede the DiskFailedError catch (it's a subclass). The
+      // engine already counted/traced the mismatch; here we only
+      // re-plan so the caller gets correct bytes.
+      if (attempt >= kMaxFailoverAttempts) throw;
+      metrics_.failovers->inc();
+      metrics_.integrity_read_fallbacks->inc();
+      if (std::find(suspects.begin(), suspects.end(), e.disk()) ==
+          suspects.end()) {
+        suspects.push_back(e.disk());
+      }
+      failed = collect_failed();
     } catch (const DiskFailedError&) {
       if (attempt >= kMaxFailoverAttempts) throw;
       metrics_.failovers->inc();

@@ -72,9 +72,28 @@ struct ScrubReport {
                                               // (before any repair)
   int64_t equations_checked = 0;
   int64_t equations_skipped = 0;   // member on a failed/rebuilding disk
-  int64_t elements_located = 0;    // corruptions pinpointed by syndromes
+  int64_t elements_located = 0;    // corruptions pinpointed (any channel)
   int64_t elements_repaired = 0;   // ...and rewritten + re-verified
   int64_t stripes_unrepairable = 0;
+  // The two distinct reasons an inconsistent stripe goes unrepaired,
+  // previously conflated in stripes_unrepairable (their sum):
+  int64_t stripes_skipped_degraded = 0;     // dead-disk equations made the
+                                            // membership comparison unsound
+  int64_t stripes_family_disagreement = 0;  // both families evaluable but
+                                            // their syndromes disagree
+                                            // (>1 corrupt element)
+  // Checksum-sidecar channel (zero when the array runs without
+  // integrity or ScrubOptions::use_checksums is off):
+  int64_t checksum_mismatches = 0;        // elements the sidecar condemned
+  int64_t elements_checksum_located = 0;  // repairs localized by checksum
+                                          // (subset of elements_located)
+  int64_t elements_stale = 0;  // payload matched the *previous* checksum
+                               // (lost/stale write)
+  // Parity-consistent stripes whose elements carry stale checksums: a
+  // whole-stripe lost write (data AND parity rolled back together) is
+  // invisible to every parity equation and unrecoverable from redundancy
+  // — reported here, never repaired, never counted inconsistent.
+  std::vector<int64_t> stale_stripes;
 };
 
 struct ScrubOptions {
@@ -83,6 +102,14 @@ struct ScrubOptions {
   // equations containing it (both parity families agree) and every
   // unsatisfied syndrome carries the same XOR delta.
   bool repair = false;
+  // Consult the checksum sidecar first: condemned elements are
+  // reconstructed from any surviving equation directly, so repair no
+  // longer needs both parity families' syndromes to agree — two-family
+  // disagreements (multiple corrupt elements) become localized repairs,
+  // and identity tags expose whole-stripe stale writes parity cannot
+  // see. Off = the parity-only contract (for A/B tests and arrays
+  // without integrity).
+  bool use_checksums = true;
 };
 
 // Array-level configuration: which device backend to run on and how the
@@ -120,6 +147,20 @@ struct ArrayOptions {
   // path at construction (same effect as DCODE_FLIGHT_DUMP; the recorder
   // is process-wide, so the last array to set this wins).
   std::string flight_dump_path;
+  // --- end-to-end integrity (see raid/integrity.h) ------------------------
+  // Maintain a per-element checksum + write-identity sidecar on every
+  // disk. This is the only channel that catches the write-failure
+  // families parity is structurally blind to (misdirected, torn within
+  // an acknowledged element, lost/stale writes).
+  bool integrity_checksums = true;
+  // Verify every element payload against the sidecar on read; condemned
+  // elements are transparently re-served from parity. Off = sidecar
+  // still maintained (scrub can use it) but reads skip the hash.
+  bool verify_reads = true;
+  // Non-empty: persist each disk's sidecar at <dir>/disk<N>.sum with
+  // torn-write-safe dual slots (FileDisk deployments survive restart);
+  // empty keeps sidecars in memory only (MemDisk).
+  std::string integrity_sidecar_dir;
 };
 
 class Raid6Array : private WriteGate {
@@ -298,8 +339,27 @@ class Raid6Array : private WriteGate {
   bool rebuild_pass(const std::vector<int>& targets);
   // Marks targets whose watermark reached stripes_ fully rebuilt.
   void finish_rebuilt_targets(const std::vector<int>& targets);
-  // Degraded helper: reconstruct one whole stripe into `out` (all columns).
-  void load_stripe_degraded(int64_t stripe, codes::Stripe& out);
+  // Degraded helper: reconstruct one whole stripe into `out` (all
+  // columns). `verify` = false reads surviving elements raw (journal
+  // replay judges the bytes itself).
+  void load_stripe_degraded(int64_t stripe, codes::Stripe& out,
+                            bool verify = true);
+  // Write-path integrity repair: re-reads `stripe` raw, classifies every
+  // live element against the sidecar, reconstructs the condemned ones
+  // from surviving equations and writes them back. Called under the
+  // stripe lock when an RMW pre-read fails verification (folding a bad
+  // old value into a parity delta would corrupt parity). Defined in
+  // scrub.cc beside the scrub-time twin of the same algorithm.
+  void clean_stripe_integrity(int64_t stripe);
+  // Last-resort write path when clean_stripe_integrity cannot converge
+  // (e.g. a misdirected data write detected at the RMW parity pre-read:
+  // the victim column is condemned while every parity that could
+  // reconstruct it is still pre-update, so neither channel can repair
+  // it in place). Reconstructs the salvageable old state, overlays the
+  // caller's data, re-encodes parity from scratch and rewrites the
+  // stripe so every sidecar record is refreshed. Defined in scrub.cc.
+  void salvage_stripe_rewrite(int64_t stripe, int64_t g, int64_t stripe_end,
+                              int64_t offset, std::span<const uint8_t> data);
   // Healthy-path RMW for the elements [g, stripe_end] of one stripe.
   void write_stripe_rmw(int64_t stripe, int64_t g, int64_t stripe_end,
                         int64_t offset, std::span<const uint8_t> data);

@@ -2,15 +2,27 @@
 // degraded arrays, and (in repair mode) localize and rewrite
 // single-element silent corruption.
 //
-// Localization uses both parity families as coordinates. A single
-// corrupted element with XOR delta D leaves exactly the equations that
-// contain it unsatisfied, each with syndrome D. The membership sets are
-// distinct per element (a row and a diagonal intersect in one cell;
-// parities own their equation), so "unsatisfied set == membership set,
-// all syndromes equal" pins the corruption to one element and D is the
-// repair patch. Anything else — multiple corruptions, mismatched
-// syndromes, a degraded stripe where equations had to be skipped — is
-// reported unrepairable rather than guessed at.
+// Two localization channels, tried in order:
+//
+//  * Checksum sidecar (ScrubOptions::use_checksums, the default when the
+//    array maintains integrity records): each element's payload is
+//    classified against its recorded checksum + write-identity tag, so a
+//    corrupt/misdirected/stale element is condemned DIRECTLY — no
+//    syndrome agreement needed. Condemned elements are reconstructed
+//    from any surviving equation whose other members are trusted,
+//    re-verified against the sidecar, and written back. This repairs
+//    cases the parity-only channel must give up on (several corrupt
+//    elements, disagreeing families) and is the only channel that sees
+//    whole-stripe stale writes (parity-consistent rollbacks).
+//
+//  * Parity syndromes: a single corrupted element with XOR delta D
+//    leaves exactly the equations that contain it unsatisfied, each with
+//    syndrome D. The membership sets are distinct per element (a row and
+//    a diagonal intersect in one cell; parities own their equation), so
+//    "unsatisfied set == membership set, all syndromes equal" pins the
+//    corruption to one element and D is the repair patch. Anything else
+//    is unrepairable from parity alone — reported split by reason:
+//    degraded equations (a member disk is dead) vs family disagreement.
 //
 // Scrub takes NO stripe locks: its chunks run on the same pool user
 // writes fan out over, so blocking a pool worker on a stripe lock held
@@ -19,8 +31,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <mutex>
 
+#include "codes/decoder.h"
+#include "codes/encoder.h"
 #include "codes/stripe.h"
 #include "obs/trace.h"
 #include "raid/raid6_array.h"
@@ -34,6 +49,7 @@ using codes::Equation;
 using codes::Stripe;
 
 using ReadOp = StripeIoEngine::ReadOp;
+using WriteOp = StripeIoEngine::WriteOp;
 
 namespace {
 
@@ -50,6 +66,68 @@ bool all_zero(const uint8_t* p, size_t n) {
   return true;
 }
 
+size_t elem_index(const CodeLayout& layout, const Element& e) {
+  return static_cast<size_t>(e.row) * static_cast<size_t>(layout.cols()) +
+         static_cast<size_t>(e.col);
+}
+
+// Fixpoint reconstruction of checksum-condemned elements: an equation
+// whose members are all live and exactly one of them distrusted rewrites
+// that member as the XOR of the others. Each candidate is re-verified
+// through `acceptable` (the sidecar knows the expected checksum) before
+// being accepted — a reconstruction through an equation that itself
+// holds an undetected wrong value would manufacture garbage, so a
+// rejected candidate is rolled back and the element stays distrusted.
+// Accepted elements become trusted members for later equations, so
+// multi-element damage (e.g. a misdirected write's victim AND its
+// intended target) repairs iteratively. Returns the repaired elements;
+// `distrust` is cleared for exactly those.
+std::vector<Element> reconstruct_distrusted(
+    const CodeLayout& layout, Stripe& s, const std::vector<char>& dead,
+    std::vector<char>& distrust, size_t element_size,
+    const std::function<bool(const Element&, const uint8_t*)>& acceptable) {
+  std::vector<Element> repaired;
+  std::vector<uint8_t> saved(element_size);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const Equation& q : layout.equations()) {
+      Element target{};
+      int distrusted_members = 0;
+      bool usable = true;
+      auto consider = [&](const Element& m) {
+        if (dead[static_cast<size_t>(m.col)] != 0) {
+          usable = false;
+          return;
+        }
+        if (distrust[elem_index(layout, m)] != 0) {
+          target = m;
+          ++distrusted_members;
+        }
+      };
+      consider(q.parity);
+      for (const Element& src : q.sources) consider(src);
+      if (!usable || distrusted_members != 1) continue;
+      std::memcpy(saved.data(), s.at(target), element_size);
+      std::memset(s.at(target), 0, element_size);
+      auto fold = [&](const Element& m) {
+        if (m.row == target.row && m.col == target.col) return;
+        xorops::xor_into(s.at(target), s.at(m), element_size);
+      };
+      fold(q.parity);
+      for (const Element& src : q.sources) fold(src);
+      if (!acceptable(target, s.at(target))) {
+        std::memcpy(s.at(target), saved.data(), element_size);
+        continue;
+      }
+      distrust[elem_index(layout, target)] = 0;
+      repaired.push_back(target);
+      progress = true;
+    }
+  }
+  return repaired;
+}
+
 }  // namespace
 
 int64_t Raid6Array::scrub() {
@@ -61,8 +139,11 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
   const CodeLayout& layout = *layout_;
   const int64_t t0 = now_ns();
   metrics_.scrubs->inc();
+  const bool use_ck = options.use_checksums && engine_.integrity_enabled();
   obs::Span span(obs::TraceLog::global(), "scrub",
-                 {{"stripes", stripes_}, {"repair", options.repair}});
+                 {{"stripes", stripes_},
+                  {"repair", options.repair},
+                  {"checksums", use_ck}});
   ScrubReport report;
   report.stripes_checked = stripes_;
   const auto& equations = layout.equations();
@@ -74,6 +155,8 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
         std::vector<uint8_t> delta(element_size_);
         std::vector<ReadOp> rops;
         std::vector<char> dead(static_cast<size_t>(layout.cols()));
+        std::vector<char> distrust(
+            static_cast<size_t>(layout.rows() * layout.cols()));
         std::vector<int> bad;
         ScrubReport local;
         for (size_t st = begin; st < end; ++st) {
@@ -101,42 +184,217 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
                   rops.push_back({pd, stripe, r, s.at(r, c)});
                 }
               }
-              engine_.read_batch(rops);
+              // Raw reads: scrub judges the bytes itself, so
+              // verify-on-read must not veto them first.
+              engine_.read_batch(rops, /*verify=*/false);
 
-              bad.clear();
-              bool deltas_agree = true;
-              for (size_t qi = 0; qi < equations.size(); ++qi) {
-                const Equation& eq = equations[qi];
-                bool skip = dead[static_cast<size_t>(eq.parity.col)] != 0;
-                for (const Element& src : eq.sources) {
-                  skip = skip || dead[static_cast<size_t>(src.col)] != 0;
+              // Checksum channel: classify every live element against
+              // the sidecar before any parity math.
+              int64_t distrusted = 0;
+              int64_t corrupt_distrusted = 0;
+              if (use_ck) {
+                std::fill(distrust.begin(), distrust.end(), 0);
+                for (int c = 0; c < layout.cols(); ++c) {
+                  if (dead[static_cast<size_t>(c)] != 0) continue;
+                  const int pd = map_.physical_disk(stripe, c);
+                  for (int r = 0; r < layout.rows(); ++r) {
+                    const IntegrityVerdict v =
+                        engine_.classify_element(pd, stripe, r, s.at(r, c));
+                    if (v == IntegrityVerdict::kCorrupt ||
+                        v == IntegrityVerdict::kMisdirected ||
+                        v == IntegrityVerdict::kStale) {
+                      distrust[elem_index(layout,
+                                          codes::make_element(r, c))] = 1;
+                      ++distrusted;
+                      ++tally.checksum_mismatches;
+                      if (v == IntegrityVerdict::kStale) {
+                        ++tally.elements_stale;
+                      } else {
+                        ++corrupt_distrusted;
+                      }
+                    }
+                  }
                 }
-                if (skip) {
-                  ++tally.equations_skipped;
-                  continue;
-                }
-                ++tally.equations_checked;
-                std::memcpy(syndrome.data(), s.at(eq.parity), element_size_);
-                for (const Element& src : eq.sources) {
-                  xorops::xor_into(syndrome.data(), s.at(src), element_size_);
-                }
-                if (all_zero(syndrome.data(), element_size_)) continue;
-                if (bad.empty()) {
-                  std::memcpy(delta.data(), syndrome.data(), element_size_);
-                } else if (std::memcmp(delta.data(), syndrome.data(),
-                                       element_size_) != 0) {
-                  deltas_agree = false;
-                }
-                bad.push_back(static_cast<int>(qi));
               }
-              if (!bad.empty()) {
+
+              // Erasure-decode fallback for degraded stripes: when the
+              // sidecar condemns elements whose covering equations are
+              // all dead-skipped (or single-equation reconstruction
+              // stalls), treat dead columns AND distrusted elements as
+              // one erasure set and chain-decode across both families.
+              // Candidates are re-verified against the sidecar before
+              // anything is written; on any rejection every buffer is
+              // rolled back and the stripe stays reported instead of
+              // silently wrong.
+              auto decode_through_degraded = [&](ScrubReport& t) {
+                std::vector<Element> lostv;
+                std::vector<Element> suspects;
+                for (int c = 0; c < layout.cols(); ++c) {
+                  for (int r = 0; r < layout.rows(); ++r) {
+                    const Element e = codes::make_element(r, c);
+                    if (dead[static_cast<size_t>(c)] != 0) {
+                      lostv.push_back(e);
+                    } else if (distrust[elem_index(layout, e)] != 0) {
+                      lostv.push_back(e);
+                      suspects.push_back(e);
+                    }
+                  }
+                }
+                if (suspects.empty()) return false;
+                std::vector<std::vector<uint8_t>> saved;
+                saved.reserve(suspects.size());
+                for (const Element& e : suspects) {
+                  saved.emplace_back(s.at(e), s.at(e) + element_size_);
+                }
+                auto restore = [&] {
+                  for (size_t i = 0; i < suspects.size(); ++i) {
+                    std::memcpy(s.at(suspects[i]), saved[i].data(),
+                                element_size_);
+                  }
+                };
+                const auto res = codes::hybrid_decode(s, lostv);
+                if (!res.success) {
+                  restore();
+                  return false;
+                }
+                for (const Element& e : suspects) {
+                  const IntegrityVerdict v = engine_.classify_element(
+                      map_.physical_disk(stripe, e.col), stripe, e.row,
+                      s.at(e));
+                  if (v != IntegrityVerdict::kOk &&
+                      v != IntegrityVerdict::kUntracked) {
+                    restore();
+                    return false;
+                  }
+                }
+                for (const Element& e : suspects) {
+                  engine_.write_element(map_.physical_disk(stripe, e.col),
+                                        stripe, e.row, s.at(e));
+                  distrust[elem_index(layout, e)] = 0;
+                  ++t.elements_located;
+                  ++t.elements_checksum_located;
+                  ++t.elements_repaired;
+                }
+                return true;
+              };
+
+              // Evaluate every parity equation. The first pass counts
+              // into the tally; re-evaluations after a checksum repair
+              // only refresh `bad`/`delta`.
+              bool deltas_agree = true;
+              auto evaluate = [&](bool count) {
+                bad.clear();
+                deltas_agree = true;
+                for (size_t qi = 0; qi < equations.size(); ++qi) {
+                  const Equation& eq = equations[qi];
+                  bool skip = dead[static_cast<size_t>(eq.parity.col)] != 0;
+                  for (const Element& src : eq.sources) {
+                    skip = skip || dead[static_cast<size_t>(src.col)] != 0;
+                  }
+                  if (skip) {
+                    if (count) ++tally.equations_skipped;
+                    continue;
+                  }
+                  if (count) ++tally.equations_checked;
+                  std::memcpy(syndrome.data(), s.at(eq.parity),
+                              element_size_);
+                  for (const Element& src : eq.sources) {
+                    xorops::xor_into(syndrome.data(), s.at(src),
+                                     element_size_);
+                  }
+                  if (all_zero(syndrome.data(), element_size_)) continue;
+                  if (bad.empty()) {
+                    std::memcpy(delta.data(), syndrome.data(),
+                                element_size_);
+                  } else if (std::memcmp(delta.data(), syndrome.data(),
+                                         element_size_) != 0) {
+                    deltas_agree = false;
+                  }
+                  bad.push_back(static_cast<int>(qi));
+                }
+              };
+              evaluate(/*count=*/true);
+
+              if (bad.empty()) {
+                if (distrusted > 0 && corrupt_distrusted == 0) {
+                  // Every evaluable equation holds, yet the sidecar says
+                  // the content is old: a whole-stripe rollback (the
+                  // write of data AND parity lost together) — invisible
+                  // to parity, and redundancy holds no newer copy, so
+                  // this is reportable, never repairable. Repair mode
+                  // accepts the rollback and resyncs the sidecar so
+                  // reads stop condemning bytes nothing can improve; the
+                  // report row is the only remaining trace.
+                  tally.stale_stripes.push_back(stripe);
+                  if (options.repair) {
+                    for (int c = 0; c < layout.cols(); ++c) {
+                      if (dead[static_cast<size_t>(c)] != 0) continue;
+                      const int pd = map_.physical_disk(stripe, c);
+                      for (int r = 0; r < layout.rows(); ++r) {
+                        engine_.resync_element_integrity(pd, stripe, r,
+                                                         s.at(r, c));
+                      }
+                    }
+                  }
+                } else if (distrusted > 0) {
+                  // Corrupt/misdirected verdicts while every evaluable
+                  // equation holds: real damage hidden behind
+                  // dead-skipped equations (or a parity-consistent
+                  // foreign image). NOT a rollback — resyncing would
+                  // bless wrong bytes. Report it, and in repair mode
+                  // erase-decode through the dead columns; sidecar
+                  // re-verification gates the writes.
+                  tally.inconsistent_stripes.push_back(stripe);
+                  if (options.repair && !decode_through_degraded(tally)) {
+                    ++tally.stripes_unrepairable;
+                    ++(any_dead ? tally.stripes_skipped_degraded
+                                : tally.stripes_family_disagreement);
+                  }
+                }
+              } else {
                 tally.inconsistent_stripes.push_back(stripe);
                 if (options.repair) {
-                  if (any_dead || !deltas_agree) {
+                  bool fixed = false;
+                  if (distrusted > 0) {
+                    // Checksum-assisted localization first: the sidecar
+                    // names the condemned elements directly, so repair
+                    // works even where the two families' syndromes
+                    // disagree (several corrupt elements).
+                    const std::vector<Element> found = reconstruct_distrusted(
+                        layout, s, dead, distrust, element_size_,
+                        [&](const Element& e, const uint8_t* p) {
+                          const IntegrityVerdict v = engine_.classify_element(
+                              map_.physical_disk(stripe, e.col), stripe,
+                              e.row, p);
+                          return v == IntegrityVerdict::kOk ||
+                                 v == IntegrityVerdict::kUntracked;
+                        });
+                    for (const Element& e : found) {
+                      engine_.write_element(
+                          map_.physical_disk(stripe, e.col), stripe, e.row,
+                          s.at(e));
+                      ++tally.elements_located;
+                      ++tally.elements_checksum_located;
+                      ++tally.elements_repaired;
+                    }
+                    if (!found.empty()) evaluate(/*count=*/false);
+                    fixed = bad.empty();
+                    if (!fixed && any_dead && decode_through_degraded(tally)) {
+                      // Equation-at-a-time reconstruction stalled on
+                      // dead-skipped equations; the erasure decode
+                      // recovered the condemned elements.
+                      evaluate(/*count=*/false);
+                      fixed = bad.empty();
+                    }
+                  }
+                  if (!fixed && (any_dead || !deltas_agree)) {
                     // Skipped equations make the membership comparison
-                    // unsound; disagreeing deltas mean >1 corrupt element.
+                    // unsound; disagreeing deltas mean >1 corrupt
+                    // element — beyond the parity-only channel.
                     ++tally.stripes_unrepairable;
-                  } else {
+                    ++(any_dead ? tally.stripes_skipped_degraded
+                                : tally.stripes_family_disagreement);
+                  } else if (!fixed) {
                     // `bad` is ascending by construction and membership
                     // lists are built in equation order, so set equality
                     // is a straight vector compare.
@@ -152,6 +410,7 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
                     }
                     if (hits != 1) {
                       ++tally.stripes_unrepairable;
+                      ++tally.stripes_family_disagreement;
                     } else {
                       ++tally.elements_located;
                       xorops::xor_into(s.at(culprit), delta.data(),
@@ -173,10 +432,20 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
             local.elements_located += tally.elements_located;
             local.elements_repaired += tally.elements_repaired;
             local.stripes_unrepairable += tally.stripes_unrepairable;
+            local.stripes_skipped_degraded += tally.stripes_skipped_degraded;
+            local.stripes_family_disagreement +=
+                tally.stripes_family_disagreement;
+            local.checksum_mismatches += tally.checksum_mismatches;
+            local.elements_checksum_located +=
+                tally.elements_checksum_located;
+            local.elements_stale += tally.elements_stale;
             local.inconsistent_stripes.insert(
                 local.inconsistent_stripes.end(),
                 tally.inconsistent_stripes.begin(),
                 tally.inconsistent_stripes.end());
+            local.stale_stripes.insert(local.stale_stripes.end(),
+                                       tally.stale_stripes.begin(),
+                                       tally.stale_stripes.end());
             break;
           }
         }
@@ -184,14 +453,24 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
         report.inconsistent_stripes.insert(report.inconsistent_stripes.end(),
                                            local.inconsistent_stripes.begin(),
                                            local.inconsistent_stripes.end());
+        report.stale_stripes.insert(report.stale_stripes.end(),
+                                    local.stale_stripes.begin(),
+                                    local.stale_stripes.end());
         report.equations_checked += local.equations_checked;
         report.equations_skipped += local.equations_skipped;
         report.elements_located += local.elements_located;
         report.elements_repaired += local.elements_repaired;
         report.stripes_unrepairable += local.stripes_unrepairable;
+        report.stripes_skipped_degraded += local.stripes_skipped_degraded;
+        report.stripes_family_disagreement +=
+            local.stripes_family_disagreement;
+        report.checksum_mismatches += local.checksum_mismatches;
+        report.elements_checksum_located += local.elements_checksum_located;
+        report.elements_stale += local.elements_stale;
       });
   std::sort(report.inconsistent_stripes.begin(),
             report.inconsistent_stripes.end());
+  std::sort(report.stale_stripes.begin(), report.stale_stripes.end());
   metrics_.scrub_stripes_checked->inc(stripes_);
   metrics_.scrub_stripes_inconsistent->inc(
       static_cast<int64_t>(report.inconsistent_stripes.size()));
@@ -199,15 +478,250 @@ ScrubReport Raid6Array::scrub_report(ScrubOptions options) {
   metrics_.scrub_elements_located->inc(report.elements_located);
   metrics_.scrub_elements_repaired->inc(report.elements_repaired);
   metrics_.scrub_stripes_unrepairable->inc(report.stripes_unrepairable);
+  metrics_.scrub_stripes_skipped_degraded->inc(
+      report.stripes_skipped_degraded);
+  metrics_.scrub_family_disagreements->inc(
+      report.stripes_family_disagreement);
+  metrics_.scrub_checksum_located->inc(report.elements_checksum_located);
+  metrics_.scrub_elements_stale->inc(report.elements_stale);
+  metrics_.scrub_stripes_stale->inc(
+      static_cast<int64_t>(report.stale_stripes.size()));
   metrics_.scrub_latency_ns->observe(now_ns() - t0);
   if (!report.inconsistent_stripes.empty()) {
     span.note("scrub.inconsistent",
               {{"count",
                 static_cast<int64_t>(report.inconsistent_stripes.size())},
                {"repaired", report.elements_repaired},
+               {"checksum_located", report.elements_checksum_located},
                {"unrepairable", report.stripes_unrepairable}});
   }
+  if (!report.stale_stripes.empty()) {
+    span.note("scrub.stale",
+              {{"stripes", static_cast<int64_t>(report.stale_stripes.size())},
+               {"elements", report.elements_stale}});
+  }
   return report;
+}
+
+void Raid6Array::clean_stripe_integrity(int64_t stripe) {
+  if (!engine_.integrity_enabled()) return;
+  const CodeLayout& layout = *layout_;
+  obs::Span span(obs::TraceLog::global(), "integrity.clean_stripe",
+                 {{"stripe", stripe}});
+  Stripe s(layout, element_size_);
+  std::vector<char> dead(static_cast<size_t>(layout.cols()), 0);
+  std::vector<char> distrust(
+      static_cast<size_t>(layout.rows() * layout.cols()), 0);
+  std::vector<ReadOp> rops;
+  for (int c = 0; c < layout.cols(); ++c) {
+    const int pd = map_.physical_disk(stripe, c);
+    dead[static_cast<size_t>(c)] =
+        disk_degraded_for_stripe(pd, stripe) ? 1 : 0;
+    if (dead[static_cast<size_t>(c)] != 0) continue;
+    for (int r = 0; r < layout.rows(); ++r) {
+      rops.push_back({pd, stripe, r, s.at(r, c)});
+    }
+  }
+  engine_.read_batch(rops, /*verify=*/false);
+  int64_t condemned = 0;
+  for (int c = 0; c < layout.cols(); ++c) {
+    if (dead[static_cast<size_t>(c)] != 0) continue;
+    const int pd = map_.physical_disk(stripe, c);
+    for (int r = 0; r < layout.rows(); ++r) {
+      const IntegrityVerdict v =
+          engine_.classify_element(pd, stripe, r, s.at(r, c));
+      if (v == IntegrityVerdict::kCorrupt ||
+          v == IntegrityVerdict::kMisdirected ||
+          v == IntegrityVerdict::kStale) {
+        distrust[elem_index(layout, codes::make_element(r, c))] = 1;
+        ++condemned;
+      }
+    }
+  }
+  std::vector<Element> repaired = reconstruct_distrusted(
+      layout, s, dead, distrust, element_size_,
+      [&](const Element& e, const uint8_t* p) {
+        const IntegrityVerdict v = engine_.classify_element(
+            map_.physical_disk(stripe, e.col), stripe, e.row, p);
+        return v == IntegrityVerdict::kOk ||
+               v == IntegrityVerdict::kUntracked;
+      });
+  // Data is authoritative for derived parity: an equation whose members
+  // are all live and trusted but which still fails can only be the
+  // mid-update window (the data writes landed, the parity catch-up write
+  // never did because verify condemned its pre-read) — re-encode that
+  // parity from its sources so the retried RMW starts from a consistent
+  // stripe.
+  std::vector<uint8_t> syndrome(element_size_);
+  for (const Equation& q : layout.equations()) {
+    if (dead[static_cast<size_t>(q.parity.col)] != 0 ||
+        distrust[elem_index(layout, q.parity)] != 0) {
+      continue;
+    }
+    bool usable = true;
+    for (const Element& src : q.sources) {
+      usable = usable && dead[static_cast<size_t>(src.col)] == 0 &&
+               distrust[elem_index(layout, src)] == 0;
+    }
+    if (!usable) continue;
+    std::memcpy(syndrome.data(), s.at(q.parity), element_size_);
+    for (const Element& src : q.sources) {
+      xorops::xor_into(syndrome.data(), s.at(src), element_size_);
+    }
+    if (all_zero(syndrome.data(), element_size_)) continue;
+    xorops::xor_into(s.at(q.parity), syndrome.data(), element_size_);
+    repaired.push_back(q.parity);
+  }
+  for (const Element& e : repaired) {
+    engine_.write_element(map_.physical_disk(stripe, e.col), stripe, e.row,
+                          s.at(e));
+  }
+  if (!repaired.empty()) metrics_.integrity_write_repairs->inc();
+  span.note("integrity.clean_stripe.done",
+            {{"condemned", condemned},
+             {"repaired", static_cast<int64_t>(repaired.size())}});
+}
+
+void Raid6Array::salvage_stripe_rewrite(int64_t stripe, int64_t g,
+                                        int64_t stripe_end, int64_t offset,
+                                        std::span<const uint8_t> data) {
+  // Why clean_stripe_integrity alone is not enough: a misdirected data
+  // write caught at the RMW parity pre-read leaves the stripe with new
+  // data on the healthy columns, a condemned victim column, and parity
+  // that is still uniformly pre-update. Every equation through the
+  // victim then mixes old parity with new data, so reconstruction
+  // candidates can never re-verify — the in-place repair loops without
+  // progress. The caller's buffer breaks the deadlock: salvage the old
+  // bytes that are still derivable, overlay the incoming data, re-encode
+  // parity from the data alone and rewrite the stripe, refreshing every
+  // sidecar record.
+  const CodeLayout& layout = *layout_;
+  obs::Span span(obs::TraceLog::global(), "integrity.salvage_rewrite",
+                 {{"stripe", stripe}});
+  Stripe s(layout, element_size_);
+  std::vector<char> dead(static_cast<size_t>(layout.cols()), 0);
+  std::vector<char> distrust(
+      static_cast<size_t>(layout.rows() * layout.cols()), 0);
+  std::vector<Element> lost;
+  std::vector<ReadOp> rops;
+  for (int c = 0; c < layout.cols(); ++c) {
+    const int pd = map_.physical_disk(stripe, c);
+    dead[static_cast<size_t>(c)] =
+        disk_degraded_for_stripe(pd, stripe) ? 1 : 0;
+    for (int r = 0; r < layout.rows(); ++r) {
+      if (dead[static_cast<size_t>(c)] != 0) {
+        lost.push_back(codes::make_element(r, c));
+      } else {
+        rops.push_back({pd, stripe, r, s.at(r, c)});
+      }
+    }
+  }
+  engine_.read_batch(rops, /*verify=*/false);
+  if (engine_.integrity_enabled()) {
+    for (int c = 0; c < layout.cols(); ++c) {
+      if (dead[static_cast<size_t>(c)] != 0) continue;
+      const int pd = map_.physical_disk(stripe, c);
+      for (int r = 0; r < layout.rows(); ++r) {
+        const IntegrityVerdict v =
+            engine_.classify_element(pd, stripe, r, s.at(r, c));
+        if (v == IntegrityVerdict::kCorrupt ||
+            v == IntegrityVerdict::kMisdirected ||
+            v == IntegrityVerdict::kStale) {
+          distrust[elem_index(layout, codes::make_element(r, c))] = 1;
+        }
+      }
+    }
+  }
+  // Condemned elements whose pre-update payload is still derivable come
+  // back through equations with trusted members; each candidate is
+  // re-verified against the sidecar, so mid-update parity cannot fake a
+  // salvage.
+  std::vector<Element> salvaged = reconstruct_distrusted(
+      layout, s, dead, distrust, element_size_,
+      [&](const Element& e, const uint8_t* p) {
+        const IntegrityVerdict v = engine_.classify_element(
+            map_.physical_disk(stripe, e.col), stripe, e.row, p);
+        return v == IntegrityVerdict::kOk ||
+               v == IntegrityVerdict::kUntracked;
+      });
+  // Parity is recomputed from the data below, so condemned parity needs
+  // no old bytes; neither does a data element the incoming write covers
+  // wholesale. Anything else still distrusted is genuinely gone —
+  // refuse rather than hand the caller silent garbage.
+  for (const Equation& q : layout.equations()) {
+    distrust[elem_index(layout, q.parity)] = 0;
+  }
+  std::vector<char> covered(distrust.size(), 0);
+  for (int64_t e = g; e <= stripe_end; ++e) {
+    const auto loc = map_.locate(e);
+    size_t eb, sb, len;
+    overlay_range(e, offset, static_cast<int64_t>(data.size()),
+                  static_cast<int64_t>(element_size_), &eb, &sb, &len);
+    if (len == element_size_) covered[elem_index(layout, loc.element)] = 1;
+  }
+  bool garbage_left = false;
+  for (int c = 0; c < layout.cols(); ++c) {
+    for (int r = 0; r < layout.rows(); ++r) {
+      const size_t idx = elem_index(layout, codes::make_element(r, c));
+      if (distrust[idx] == 0) continue;
+      garbage_left = true;
+      if (covered[idx] == 0) {
+        throw ElementIntegrityError(map_.physical_disk(stripe, c), stripe, r,
+                                    IntegrityVerdict::kCorrupt);
+      }
+    }
+  }
+  if (!lost.empty()) {
+    // Decoding a dead column folds parity, which is only sound when the
+    // surviving stripe is internally consistent (pre-update). Mid-update
+    // or residual-garbage state cannot be decoded through — refuse
+    // instead of writing back a silently wrong reconstruction.
+    if (garbage_left) {
+      throw ElementIntegrityError(map_.physical_disk(stripe, 0), stripe, 0,
+                                  IntegrityVerdict::kCorrupt);
+    }
+    std::vector<uint8_t> syndrome(element_size_);
+    for (const Equation& q : layout.equations()) {
+      bool usable = dead[static_cast<size_t>(q.parity.col)] == 0;
+      for (const Element& src : q.sources) {
+        usable = usable && dead[static_cast<size_t>(src.col)] == 0;
+      }
+      if (!usable) continue;
+      std::memcpy(syndrome.data(), s.at(q.parity), element_size_);
+      for (const Element& src : q.sources) {
+        xorops::xor_into(syndrome.data(), s.at(src), element_size_);
+      }
+      if (!all_zero(syndrome.data(), element_size_)) {
+        throw ElementIntegrityError(map_.physical_disk(stripe, q.parity.col),
+                                    stripe, q.parity.row,
+                                    IntegrityVerdict::kCorrupt);
+      }
+    }
+    auto res = codes::hybrid_decode(s, lost);
+    DCODE_CHECK(res.success, "stripe unrecoverable (more than two failures)");
+    metrics_.elements_reconstructed->inc(static_cast<int64_t>(lost.size()));
+  }
+  for (int64_t e = g; e <= stripe_end; ++e) {
+    const auto loc = map_.locate(e);
+    size_t eb, sb, len;
+    overlay_range(e, offset, static_cast<int64_t>(data.size()),
+                  static_cast<int64_t>(element_size_), &eb, &sb, &len);
+    std::memcpy(s.at(loc.element) + eb, data.data() + sb, len);
+  }
+  codes::encode_stripe(s);
+  std::vector<WriteOp> wops;
+  for (int c = 0; c < layout.cols(); ++c) {
+    if (dead[static_cast<size_t>(c)] != 0) continue;
+    const int pd = map_.physical_disk(stripe, c);
+    for (int r = 0; r < layout.rows(); ++r) {
+      wops.push_back({pd, stripe, r, s.at(r, c)});
+    }
+  }
+  engine_.write_batch(wops);
+  metrics_.integrity_write_repairs->inc();
+  span.note("integrity.salvage_rewrite.done",
+            {{"salvaged", static_cast<int64_t>(salvaged.size())},
+             {"writes", static_cast<int64_t>(wops.size())}});
 }
 
 }  // namespace dcode::raid

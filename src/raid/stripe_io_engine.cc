@@ -9,6 +9,7 @@
 #include "obs/op_context.h"
 #include "obs/trace.h"
 #include "raid/journal.h"
+#include "xorops/checksum.h"
 
 namespace dcode::raid {
 
@@ -60,13 +61,26 @@ StripeIoEngine::StripeIoEngine(int disks, size_t disk_size,
       er = metrics_->disk_element_reads[static_cast<size_t>(d)];
       ew = metrics_->disk_element_writes[static_cast<size_t>(d)];
     }
+    std::unique_ptr<ChecksumStore> store;
+    if (options_.integrity) {
+      store = std::make_unique<ChecksumStore>(
+          static_cast<int64_t>(disk_size_ / element_size_));
+      if (!options_.integrity_sidecar_dir.empty()) {
+        store->attach_file(options_.integrity_sidecar_dir + "/disk" +
+                           std::to_string(d) + ".sum");
+      }
+    }
     disks_.push_back(std::make_unique<DiskHandle>(
-        options_.factory(d, disk_size_), er, ew));
+        options_.factory(d, disk_size_), er, ew, std::move(store)));
   }
 }
 
 void StripeIoEngine::replace_disk(int d) {
   disk(d).faults().replace(options_.factory(d, disk_size_));
+  // A blank replacement has no history: forget every record so rebuilt
+  // elements re-register as they are written rather than reading as
+  // corrupt against the dead disk's sums.
+  if (ChecksumStore* store = disk(d).integrity()) store->invalidate_all();
 }
 
 int StripeIoEngine::flush() {
@@ -74,6 +88,7 @@ int StripeIoEngine::flush() {
   for (auto& h : disks_) {
     if (h->failed()) continue;
     DCODE_CHECK(h->faults().flush().ok(), "device flush failed");
+    if (ChecksumStore* store = h->integrity()) store->flush();
     ++flushed;
   }
   return flushed;
@@ -146,9 +161,69 @@ IoResult StripeIoEngine::with_retries(
   return r;
 }
 
+void StripeIoEngine::verify_run(int d, std::span<const ReadOp> ops,
+                                std::span<const size_t> idx, size_t first,
+                                size_t run, uint64_t gen, uint64_t trace_span,
+                                uint64_t op_id) {
+  DiskHandle& h = disk(d);
+  ChecksumStore* store = h.integrity();
+  for (size_t k = 0; k < run; ++k) {
+    const ReadOp& op = ops[idx[first + k]];
+    const int64_t elem = element_index(op.stripe, op.row);
+    uint64_t sum = xorops::checksum64(op.dst, element_size_);
+    IntegrityVerdict v = store->classify(elem, sum);
+    if (v == IntegrityVerdict::kOk || v == IntegrityVerdict::kUntracked) {
+      continue;
+    }
+    // One defensive re-read before condemning: a coalesced run can race
+    // a concurrent writer to a *neighboring* element's stripe, and media
+    // may return a one-off flipped read; fetching just this element
+    // settles both.
+    const uint64_t base = element_offset(op.stripe, op.row);
+    IoResult r = with_retries(h.faults(), op_id, [&] {
+      return h.faults().read(base, {op.dst, element_size_});
+    });
+    if (!r.ok() || h.faults().generation() != gen) throw DiskFailedError(d);
+    sum = xorops::checksum64(op.dst, element_size_);
+    v = store->classify(elem, sum);
+    if (v == IntegrityVerdict::kOk || v == IntegrityVerdict::kUntracked) {
+      continue;
+    }
+    if (metrics_ != nullptr) {
+      switch (v) {
+        case IntegrityVerdict::kMisdirected:
+          metrics_->integrity_mismatch_misdirected->inc();
+          break;
+        case IntegrityVerdict::kStale:
+          metrics_->integrity_mismatch_stale->inc();
+          break;
+        default:
+          metrics_->integrity_mismatch_corrupt->inc();
+          break;
+      }
+    }
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kIntegrityMismatch, op_id, d, elem,
+        static_cast<int64_t>(v));
+    if (auto& tlog = obs::TraceLog::global(); tlog.enabled()) {
+      tlog.event_in_span(trace_span, "integrity.mismatch",
+                         {{"disk", d},
+                          {"stripe", op.stripe},
+                          {"row", op.row},
+                          {"verdict", to_string(v)}});
+    }
+    if (monitor_ != nullptr) monitor_->record_checksum_mismatch(d);
+    throw ElementIntegrityError(d, op.stripe, op.row, v);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->integrity_elements_verified->inc(static_cast<int64_t>(run));
+  }
+}
+
 void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
                               std::span<const size_t> idx,
-                              uint64_t trace_span, uint64_t op_id) {
+                              uint64_t trace_span, uint64_t op_id,
+                              bool verify) {
   DiskHandle& h = disk(d);
   // Rebuild watermark: a promoted spare only holds valid data below its
   // readable-stripe floor; a plan that reaches above it raced a failure
@@ -206,6 +281,9 @@ void StripeIoEngine::run_read(int d, std::span<const ReadOp> ops,
                           {"offset", static_cast<int64_t>(base)},
                           {"elements", static_cast<int64_t>(run)}});
     }
+    if (verify && options_.verify_reads && h.integrity() != nullptr) {
+      verify_run(d, ops, idx, i, run, gen, trace_span, op_id);
+    }
     i += run;
   }
 }
@@ -250,11 +328,23 @@ void StripeIoEngine::run_write(int d, std::span<const WriteOp> ops,
                           {"offset", static_cast<int64_t>(base)},
                           {"elements", static_cast<int64_t>(run)}});
     }
+    // Record-after-write: the store only learns sums the device has
+    // acknowledged. A device that acks and then drops the payload (lost
+    // write) leaves the store ahead of the platter — which is exactly
+    // what makes the loss detectable on the next read.
+    if (ChecksumStore* store = h.integrity()) {
+      for (size_t k = 0; k < run; ++k) {
+        const WriteOp& op = ops[idx[i + k]];
+        store->record(element_index(op.stripe, op.row),
+                      xorops::checksum64(op.src, element_size_), op.stripe,
+                      op.row, element_role(d, op.stripe, op.row));
+      }
+    }
     i += run;
   }
 }
 
-void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
+void StripeIoEngine::read_batch(std::span<const ReadOp> ops, bool verify) {
   if (ops.empty()) return;
   // Capture the dispatching op's identity before fanning out: batch
   // calls block until every run finishes, so pool workers can safely
@@ -268,7 +358,7 @@ void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
   if (ops.size() == 1) {
     const ReadOp& op = ops.front();
     size_t one = 0;
-    run_read(op.disk, ops, {&one, 1}, span.id(), op_id);
+    run_read(op.disk, ops, {&one, 1}, span.id(), op_id, verify);
     return;
   }
   // Group by disk, order each group by device offset so adjacency is
@@ -289,7 +379,8 @@ void StripeIoEngine::read_batch(std::span<const ReadOp> ops) {
   }
   auto run_group = [&](size_t i) {
     int d = active[i];
-    run_read(d, ops, by_disk[static_cast<size_t>(d)], span.id(), op_id);
+    run_read(d, ops, by_disk[static_cast<size_t>(d)], span.id(), op_id,
+             verify);
   };
   if (options_.parallel && active.size() > 1) {
     pool_->parallel_for(active.size(), run_group);
@@ -347,14 +438,15 @@ void StripeIoEngine::write_batch(std::span<const WriteOp> ops) {
 }
 
 void StripeIoEngine::read_element(int d, int64_t stripe, int row,
-                                  uint8_t* dst) {
+                                  uint8_t* dst, bool verify) {
   // Single-element path runs on the caller's thread: trace_span 0 lets
   // the device event attach to whatever span is live there (the op root,
   // a degraded_read span, ...).
   const obs::OpContext* ctx = obs::current_op_context();
   ReadOp op{d, stripe, row, dst};
   size_t one = 0;
-  run_read(d, {&op, 1}, {&one, 1}, 0, ctx != nullptr ? ctx->op_id : 0);
+  run_read(d, {&op, 1}, {&one, 1}, 0, ctx != nullptr ? ctx->op_id : 0,
+           verify);
 }
 
 void StripeIoEngine::write_element(int d, int64_t stripe, int row,
@@ -364,6 +456,24 @@ void StripeIoEngine::write_element(int d, int64_t stripe, int row,
   WriteOp op{d, stripe, row, src};
   size_t one = 0;
   run_write(d, {&op, 1}, {&one, 1}, 0, ctx != nullptr ? ctx->op_id : 0);
+}
+
+IntegrityVerdict StripeIoEngine::classify_element(int d, int64_t stripe,
+                                                  int row,
+                                                  const uint8_t* data) const {
+  const ChecksumStore* store = disks_[static_cast<size_t>(d)]->integrity();
+  if (store == nullptr) return IntegrityVerdict::kUntracked;
+  return store->classify(element_index(stripe, row),
+                         xorops::checksum64(data, element_size_));
+}
+
+void StripeIoEngine::resync_element_integrity(int d, int64_t stripe, int row,
+                                              const uint8_t* data) {
+  ChecksumStore* store = disk(d).integrity();
+  if (store == nullptr) return;
+  store->resync(element_index(stripe, row),
+                xorops::checksum64(data, element_size_), stripe, row,
+                element_role(d, stripe, row));
 }
 
 std::vector<int64_t> StripeIoEngine::per_disk_element_accesses() const {

@@ -25,14 +25,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "raid/array_metrics.h"
 #include "raid/fault_injection.h"
 #include "raid/health_monitor.h"
+#include "raid/integrity.h"
 #include "util/thread_pool.h"
 
 namespace dcode::raid {
@@ -54,8 +57,10 @@ class WriteGate {
 class DiskHandle {
  public:
   DiskHandle(std::unique_ptr<BlockDevice> backend, obs::Counter* element_reads,
-             obs::Counter* element_writes)
+             obs::Counter* element_writes,
+             std::unique_ptr<ChecksumStore> integrity = nullptr)
       : device_(std::make_unique<FaultInjectingDevice>(std::move(backend))),
+        integrity_(std::move(integrity)),
         obs_reads_(element_reads),
         obs_writes_(element_writes) {}
 
@@ -116,6 +121,11 @@ class DiskHandle {
         std::memory_order_acq_rel);
   }
 
+  // This disk's integrity records (null when the engine runs without
+  // the checksum sidecar).
+  ChecksumStore* integrity() { return integrity_.get(); }
+  const ChecksumStore* integrity() const { return integrity_.get(); }
+
   // Fault injection (decorator passthrough).
   FaultInjectingDevice& faults() { return *device_; }
   void corrupt(uint64_t offset, size_t len, Pcg32& rng) {
@@ -147,6 +157,7 @@ class DiskHandle {
   }
 
   std::unique_ptr<FaultInjectingDevice> device_;
+  std::unique_ptr<ChecksumStore> integrity_;
   std::atomic<int64_t> readable_stripes_{
       std::numeric_limits<int64_t>::max()};
   obs::Counter* obs_reads_;
@@ -175,6 +186,16 @@ struct EngineOptions {
   int64_t retry_deadline_ns = 0;
   // Seeds the deterministic jitter stream (per disk x attempt x serial).
   uint64_t backoff_seed = 0x5EEDBACCu;
+  // --- integrity (per-element checksum sidecar) -------------------------
+  bool integrity = true;      // maintain per-element checksums + tags
+  bool verify_reads = true;   // checksum-verify every element read
+  // Persist sidecars as files in this directory ("" = in-memory only;
+  // FileDisk arrays point this at the disk directory).
+  std::string integrity_sidecar_dir;
+  // Resolves an element's coding role for the write-identity tag:
+  // (disk, stripe, row) -> 0 for data, 1 + family index for parity.
+  // Null = record every element as role 0.
+  std::function<int(int, int64_t, int)> element_role;
 };
 
 class StripeIoEngine {
@@ -209,16 +230,37 @@ class StripeIoEngine {
 
   // Batched element I/O: coalesced into ranged vectored transfers per
   // disk and fanned across the pool (per Options). Ops may arrive in any
-  // order; reads of a failed device throw DiskFailedError.
-  void read_batch(std::span<const ReadOp> ops);
+  // order; reads of a failed device throw DiskFailedError. With `verify`
+  // (the default, when Options::verify_reads is on) every element
+  // payload is checksum-verified after the transfer; a condemned element
+  // throws ElementIntegrityError. Scrub and journal replay pass verify =
+  // false — they read raw precisely to judge the bytes themselves.
+  void read_batch(std::span<const ReadOp> ops) { read_batch(ops, true); }
+  void read_batch(std::span<const ReadOp> ops, bool verify);
   // Element writes. When the WriteGate is armed, ops execute serially in
   // batch order, one gate admission per element, so injected power loss
   // lands between exactly the same element writes as before batching.
   void write_batch(std::span<const WriteOp> ops);
 
   // Single-element conveniences.
-  void read_element(int disk, int64_t stripe, int row, uint8_t* dst);
+  void read_element(int disk, int64_t stripe, int row, uint8_t* dst,
+                    bool verify = true);
   void write_element(int disk, int64_t stripe, int row, const uint8_t* src);
+
+  // --- integrity --------------------------------------------------------
+  bool integrity_enabled() const { return options_.integrity; }
+  // Classifies raw payload bytes against disk `d`'s records (kUntracked
+  // when the engine runs without integrity).
+  IntegrityVerdict classify_element(int d, int64_t stripe, int row,
+                                    const uint8_t* data) const;
+  // Re-derives checksum + identity tag from known-good content (journal
+  // replay, scrub repair, reconstruction). No-op without integrity.
+  void resync_element_integrity(int d, int64_t stripe, int row,
+                                const uint8_t* data);
+  // Linear element index on one device (ChecksumStore addressing).
+  int64_t element_index(int64_t stripe, int row) const {
+    return stripe * static_cast<int64_t>(rows_) + row;
+  }
 
   // Fail-stop injection and blank-replacement (new backend from the
   // factory), mirroring a controller pulling and reseating a drive.
@@ -251,7 +293,15 @@ class StripeIoEngine {
   // events with the originating array op.
   void run_read(int d, std::span<const ReadOp> ops,
                 std::span<const size_t> idx, uint64_t trace_span,
-                uint64_t op_id);
+                uint64_t op_id, bool verify);
+  // Verifies one coalesced run's payloads; throws ElementIntegrityError
+  // (after one defensive re-read) on a condemned element.
+  void verify_run(int d, std::span<const ReadOp> ops,
+                  std::span<const size_t> idx, size_t first, size_t run,
+                  uint64_t gen, uint64_t trace_span, uint64_t op_id);
+  int element_role(int d, int64_t stripe, int row) const {
+    return options_.element_role ? options_.element_role(d, stripe, row) : 0;
+  }
   void run_write(int d, std::span<const WriteOp> ops,
                  std::span<const size_t> idx, uint64_t trace_span,
                  uint64_t op_id);

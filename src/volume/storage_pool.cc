@@ -64,6 +64,15 @@ StoragePool::StoragePool(ShardSpec spec, int shards, PoolOptions options,
       &registry_->counter("pool.restripe.chunks_moved");
   metrics_.restripe_throttle_wait_ns = &registry_->histogram(
       "pool.restripe.throttle_wait_ns", obs::latency_bounds_ns());
+  metrics_.integrity_checksum_mismatches = &registry_->counter(
+      "pool.integrity.checksum_mismatches", {},
+      "elements the checksum sidecar condemned across pool scrubs");
+  metrics_.integrity_checksum_located = &registry_->counter(
+      "pool.integrity.checksum_located", {},
+      "scrub repairs localized via the checksum sidecar across shards");
+  metrics_.integrity_stale_stripes = &registry_->counter(
+      "pool.integrity.stale_stripes", {},
+      "parity-consistent stale (rolled-back) stripes found by pool scrubs");
 
   for (int i = 0; i < shards; ++i) {
     shards_[static_cast<size_t>(i)] = make_shard(i);
@@ -521,7 +530,12 @@ int64_t StoragePool::scrub_all() {
   int64_t inconsistent = 0;
   const int n = shard_count();
   for (int i = 0; i < n; ++i) {
-    inconsistent += shards_[static_cast<size_t>(i)]->array->scrub();
+    raid::ScrubReport r =
+        shards_[static_cast<size_t>(i)]->array->scrub_report();
+    inconsistent += static_cast<int64_t>(r.inconsistent_stripes.size());
+    metrics_.integrity_checksum_mismatches->inc(r.checksum_mismatches);
+    metrics_.integrity_stale_stripes->inc(
+        static_cast<int64_t>(r.stale_stripes.size()));
   }
   return inconsistent;
 }
@@ -536,11 +550,21 @@ raid::ScrubReport StoragePool::scrub_repair_all() {
     for (int64_t s : r.inconsistent_stripes) {
       total.inconsistent_stripes.push_back(s);
     }
+    for (int64_t s : r.stale_stripes) total.stale_stripes.push_back(s);
     total.equations_checked += r.equations_checked;
     total.equations_skipped += r.equations_skipped;
     total.elements_located += r.elements_located;
     total.elements_repaired += r.elements_repaired;
     total.stripes_unrepairable += r.stripes_unrepairable;
+    total.stripes_skipped_degraded += r.stripes_skipped_degraded;
+    total.stripes_family_disagreement += r.stripes_family_disagreement;
+    total.checksum_mismatches += r.checksum_mismatches;
+    total.elements_checksum_located += r.elements_checksum_located;
+    total.elements_stale += r.elements_stale;
+    metrics_.integrity_checksum_mismatches->inc(r.checksum_mismatches);
+    metrics_.integrity_checksum_located->inc(r.elements_checksum_located);
+    metrics_.integrity_stale_stripes->inc(
+        static_cast<int64_t>(r.stale_stripes.size()));
   }
   return total;
 }

@@ -198,10 +198,12 @@ class StoragePool {
   // Blocks until no shard has a background rebuild active; true when
   // every shard is fully reconstructed.
   bool wait_for_rebuilds();
-  // Parity scrub across all shards; total inconsistent stripes. Same
-  // quiesce contract as Raid6Array::scrub.
+  // Integrity scrub across all shards (parity equations + checksum
+  // sidecar); total inconsistent stripes. Feeds the pool.integrity.*
+  // rollup counters. Same quiesce contract as Raid6Array::scrub.
   int64_t scrub_all();
-  // Repair scrub across all shards; reports are summed.
+  // Repair scrub across all shards; reports are summed (including the
+  // checksum/stale channels) and rolled into pool.integrity.*.
   raid::ScrubReport scrub_repair_all();
 
   obs::Registry& metrics_registry() const { return *registry_; }
@@ -237,6 +239,12 @@ class StoragePool {
     obs::Counter* restripes;
     obs::Counter* restripe_chunks_moved;
     obs::Histogram* restripe_throttle_wait_ns;
+    // Integrity-scrub rollups across shards (fed by scrub_all /
+    // scrub_repair_all; the per-shard raid.integrity.* and raid.scrub.*
+    // metrics carry the fine-grained view).
+    obs::Counter* integrity_checksum_mismatches;
+    obs::Counter* integrity_checksum_located;
+    obs::Counter* integrity_stale_stripes;
   };
 
   std::unique_ptr<Shard> make_shard(int index);

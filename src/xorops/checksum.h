@@ -1,0 +1,35 @@
+// Fast 64-bit content checksums for the integrity sidecar.
+//
+// checksum64() is XXH64 (Yann Collet's xxHash, 64-bit variant),
+// reimplemented here so the hot 32-byte-block accumulation loop can be
+// runtime-SIMD-dispatched through the same per-ISA kernel-table scheme
+// as the XOR region kernels (xorops/xor_backend.h). Only the block
+// accumulation is dispatched; setup, lane merge, tail, and the final
+// avalanche always run scalar, so every backend is bit-identical by
+// construction — a requirement, because the values are persisted in
+// FileDisk sidecar files and must verify on a machine with a different
+// active ISA.
+//
+// The scalar path matches the published XXH64 spec exactly (pinned
+// against the reference test vectors in tests/integrity_test.cc), so a
+// sidecar written by this library can be audited with any stock xxhash
+// tool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "xorops/isa.h"
+
+namespace dcode::xorops {
+
+// XXH64(data, len, seed), dispatched through the active ISA.
+uint64_t checksum64(const void* data, size_t len, uint64_t seed = 0);
+
+// Same value computed with one specific backend — differential tests
+// compare every supported backend against scalar bit-for-bit. Throws
+// std::logic_error if the ISA is not available (like xor_kernels).
+uint64_t checksum64_isa(Isa isa, const void* data, size_t len,
+                        uint64_t seed = 0);
+
+}  // namespace dcode::xorops

@@ -1,0 +1,52 @@
+// 256-bit (AVX2) XXH64 block-accumulate backend: all four lanes in one
+// vector. Also serves AVX-512 hosts (see checksum_backend.h).
+#include "xorops/checksum_backend.h"
+
+#ifdef DCODE_HAVE_ISA_AVX2
+
+#include <immintrin.h>
+
+namespace dcode::xorops::detail {
+namespace {
+
+constexpr long long kP1 = static_cast<long long>(0x9E3779B185EBCA87ULL);
+constexpr long long kP2 = static_cast<long long>(0xC2B2AE3D27D4EB4FULL);
+
+// AVX2 has no 64-bit mullo (that is AVX-512DQ); build it from 32x32->64
+// cross products.
+inline __m256i mul64(__m256i a, __m256i b) {
+  const __m256i ahi = _mm256_srli_epi64(a, 32);
+  const __m256i bhi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i mid = _mm256_add_epi64(_mm256_mul_epu32(a, bhi),
+                                       _mm256_mul_epu32(ahi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+inline __m256i rotl31(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, 31), _mm256_srli_epi64(x, 33));
+}
+
+void avx2_accumulate(uint64_t lanes[4], const uint8_t* p, size_t nblocks) {
+  const __m256i p1 = _mm256_set1_epi64x(kP1);
+  const __m256i p2 = _mm256_set1_epi64x(kP2);
+  __m256i acc =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  for (size_t b = 0; b < nblocks; ++b, p += 32) {
+    const __m256i w =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    acc = mul64(rotl31(_mm256_add_epi64(acc, mul64(w, p2))), p1);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+}
+
+}  // namespace
+
+const ChecksumKernels& avx2_checksum_kernels() {
+  static constexpr ChecksumKernels k = {avx2_accumulate};
+  return k;
+}
+
+}  // namespace dcode::xorops::detail
+
+#endif  // DCODE_HAVE_ISA_AVX2

@@ -1,0 +1,42 @@
+// Per-ISA kernel tables behind xorops/checksum.h.
+//
+// XXH64 splits into a hot part — folding 32-byte input blocks into four
+// independent 64-bit accumulator lanes — and a cold part (setup, lane
+// merge, tail bytes, avalanche). Only the hot part lives in the table;
+// each backend translation unit (checksum.cc scalar,
+// checksum_{sse2,avx2}.cc vector) supplies one accumulate() and the
+// shared scalar driver does everything else, which keeps the backends
+// bit-identical without per-backend tail logic. AVX-512 has no dedicated
+// backend: the lane rounds need 64-bit multiplies that AVX2 already
+// emulates at full width for the four lanes, so the dispatcher hands
+// AVX-512 hosts the AVX2 table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "xorops/isa.h"
+
+namespace dcode::xorops::detail {
+
+struct ChecksumKernels {
+  // Folds nblocks consecutive 32-byte blocks starting at p into the four
+  // XXH64 accumulator lanes:  lane[i] = round(lane[i], word_i(block))
+  // per block, where round(acc, w) = rotl64((acc + w * P2), 31) * P1.
+  // p may be unaligned; nblocks may be zero.
+  void (*accumulate)(uint64_t lanes[4], const uint8_t* p, size_t nblocks);
+};
+
+// Table for one backend; throws std::logic_error if the ISA is not
+// supported (not compiled in, or the CPU lacks it).
+const ChecksumKernels& checksum_kernels(Isa isa);
+
+const ChecksumKernels& scalar_checksum_kernels();
+#ifdef DCODE_HAVE_ISA_SSE2
+const ChecksumKernels& sse2_checksum_kernels();
+#endif
+#ifdef DCODE_HAVE_ISA_AVX2
+const ChecksumKernels& avx2_checksum_kernels();
+#endif
+
+}  // namespace dcode::xorops::detail

@@ -1,0 +1,56 @@
+// 128-bit (SSE2) XXH64 block-accumulate backend: two lanes per vector.
+#include "xorops/checksum_backend.h"
+
+#ifdef DCODE_HAVE_ISA_SSE2
+
+#include <emmintrin.h>
+
+namespace dcode::xorops::detail {
+namespace {
+
+constexpr long long kP1 = static_cast<long long>(0x9E3779B185EBCA87ULL);
+constexpr long long kP2 = static_cast<long long>(0xC2B2AE3D27D4EB4FULL);
+
+// SSE2 has no 64-bit mullo; build it from 32x32->64 cross products.
+inline __m128i mul64(__m128i a, __m128i b) {
+  const __m128i ahi = _mm_srli_epi64(a, 32);
+  const __m128i bhi = _mm_srli_epi64(b, 32);
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i mid = _mm_add_epi64(_mm_mul_epu32(a, bhi),
+                                    _mm_mul_epu32(ahi, b));
+  return _mm_add_epi64(lo, _mm_slli_epi64(mid, 32));
+}
+
+inline __m128i rotl31(__m128i x) {
+  return _mm_or_si128(_mm_slli_epi64(x, 31), _mm_srli_epi64(x, 33));
+}
+
+void sse2_accumulate(uint64_t lanes[4], const uint8_t* p, size_t nblocks) {
+  const __m128i p1 = _mm_set1_epi64x(kP1);
+  const __m128i p2 = _mm_set1_epi64x(kP2);
+  __m128i acc01 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  __m128i acc23 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 2));
+  for (size_t b = 0; b < nblocks; ++b, p += 32) {
+    const __m128i w01 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i w23 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+    acc01 = mul64(rotl31(_mm_add_epi64(acc01, mul64(w01, p2))), p1);
+    acc23 = mul64(rotl31(_mm_add_epi64(acc23, mul64(w23, p2))), p1);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc01);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes + 2), acc23);
+}
+
+}  // namespace
+
+const ChecksumKernels& sse2_checksum_kernels() {
+  static constexpr ChecksumKernels k = {sse2_accumulate};
+  return k;
+}
+
+}  // namespace dcode::xorops::detail
+
+#endif  // DCODE_HAVE_ISA_SSE2

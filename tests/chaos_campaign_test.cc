@@ -1,11 +1,15 @@
 // The deterministic chaos campaign: seeded fault schedules (fail-stop,
-// transient bursts, silent corruption, power loss mid-write) injected
-// under a concurrent workload, with the self-healing invariants checked
-// after every round:
+// transient bursts, silent corruption, power loss mid-write, and the
+// acknowledged-but-wrong write families — misdirected, torn, lost)
+// injected under a concurrent workload, with the self-healing
+// invariants checked after every round:
 //
 //   * no data loss while concurrent failures stay within RAID-6
 //     tolerance (reads always return what was written);
-//   * repair-mode scrub converges to zero inconsistent stripes;
+//   * repair-mode scrub converges to zero inconsistent stripes — for
+//     the wrong-path write families that convergence is only possible
+//     through the checksum sidecar (parity syndromes alone cannot
+//     localize a lie the device acknowledged);
 //   * journal recovery leaves no open intents and a consistent array;
 //   * declared failures promote spares and rebuild to completion with
 //     zero failed user reads.
@@ -186,12 +190,39 @@ TEST_P(ChaosCampaign, InvariantsHoldUnderSeededFaults) {
       case ChaosFault::kPowerLoss:
         array.inject_power_loss_after(ev.param);
         break;
+      // The acknowledged-but-wrong families: the device reports success
+      // while the platter holds something else. Parity never sees an
+      // error; only the checksum sidecar can localize these, so the
+      // quiesce-time repair scrub below is their real assertion.
+      case ChaosFault::kMisdirectedWrite:
+        if (!array.disk(ev.disk).failed()) {
+          array.disk(ev.disk).faults().inject_misdirected_writes(
+              1, static_cast<uint64_t>(ev.param) * kElem);
+        }
+        break;
+      case ChaosFault::kTornWrite:
+        if (!array.disk(ev.disk).failed()) {
+          array.disk(ev.disk).faults().inject_torn_writes(
+              1, static_cast<size_t>(ev.param));
+        }
+        break;
+      case ChaosFault::kLostWrite:
+        if (!array.disk(ev.disk).failed()) {
+          array.disk(ev.disk).faults().inject_lost_writes(
+              static_cast<int>(ev.param));
+        }
+        break;
     }
     for (auto& th : threads) th.join();
 
     // --- quiesce and verify every invariant ---------------------------
     // Clears both a consumed crash and an unconsumed write budget.
     array.restart();
+    // Disarm any unconsumed wrong-path write budget: the repair writes
+    // the scrub below issues must actually land.
+    for (int d = 0; d < disks; ++d) {
+      array.disk(d).faults().clear_wrong_path_writes();
+    }
     if (!array.wait_for_rebuild()) {
       array.rebuild();  // crash interrupted the worker: finish in sync
     }

@@ -25,6 +25,11 @@ enum class ChaosFault {
   kTransientLong,    // a burst that exhausts retries and escalates
   kSilentCorruption, // bytes flipped behind the array's back
   kPowerLoss,        // crash after a small element-write budget
+  // The acknowledged-but-wrong write families parity alone cannot
+  // express (only the checksum sidecar catches them):
+  kMisdirectedWrite, // writes land at a shifted LBA, acked complete
+  kTornWrite,        // only a payload prefix persists, acked complete
+  kLostWrite,        // writes dropped on the floor, acked complete
 };
 
 inline const char* to_string(ChaosFault f) {
@@ -36,6 +41,9 @@ inline const char* to_string(ChaosFault f) {
     case ChaosFault::kTransientLong: return "transient_long";
     case ChaosFault::kSilentCorruption: return "silent_corruption";
     case ChaosFault::kPowerLoss: return "power_loss";
+    case ChaosFault::kMisdirectedWrite: return "misdirected_write";
+    case ChaosFault::kTornWrite: return "torn_write";
+    case ChaosFault::kLostWrite: return "lost_write";
   }
   return "unknown";
 }
@@ -62,7 +70,7 @@ inline ChaosSchedule make_chaos_schedule(uint64_t seed, int rounds,
     ChaosEvent ev;
     // Weighted fault mix; every family appears with decent probability
     // within an 8-round campaign across the seed set.
-    switch (rng.next_below(14)) {
+    switch (rng.next_below(17)) {
       case 0:
         ev.kind = ChaosFault::kNone;
         break;
@@ -90,9 +98,26 @@ inline ChaosSchedule make_chaos_schedule(uint64_t seed, int rounds,
         ev.kind = ChaosFault::kSilentCorruption;
         ev.param = 8 + static_cast<int64_t>(rng.next_below(48));
         break;
-      default:
+      case 12:
+      case 13:
         ev.kind = ChaosFault::kPowerLoss;
         ev.param = 1 + static_cast<int64_t>(rng.next_below(40));
+        break;
+      case 14:
+        // param = LBA slip in whole elements (the campaign multiplies by
+        // the element size — a firmware-style aligned misdirection).
+        ev.kind = ChaosFault::kMisdirectedWrite;
+        ev.param = 1 + static_cast<int64_t>(rng.next_below(7));
+        break;
+      case 15:
+        // param = payload bytes that persist before the tear.
+        ev.kind = ChaosFault::kTornWrite;
+        ev.param = 1 + static_cast<int64_t>(rng.next_below(96));
+        break;
+      default:
+        // param = writes dropped on the floor.
+        ev.kind = ChaosFault::kLostWrite;
+        ev.param = 1 + static_cast<int64_t>(rng.next_below(3));
         break;
     }
     ev.disk = static_cast<int>(rng.next_below(static_cast<uint32_t>(disks)));

@@ -1,0 +1,597 @@
+// The end-to-end integrity channel: XXH64 kernel correctness (pinned
+// spec vectors + cross-ISA differential), ChecksumStore classification
+// and sidecar persistence (dual-slot torn-write recovery), the
+// wrong-path write fault models, verify-on-read serving correct data
+// from parity, and the scrub contracts only the checksum channel can
+// honor — repairing family-disagreement stripes parity-only scrub must
+// refuse, localizing through degraded stripes, and reporting
+// parity-consistent whole-stripe stale writes.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "codes/registry.h"
+#include "raid/fault_injection.h"
+#include "raid/integrity.h"
+#include "raid/journal.h"
+#include "raid/mem_disk.h"
+#include "raid/raid6_array.h"
+#include "util/rng.h"
+#include "xorops/checksum.h"
+
+namespace dcode::raid {
+namespace {
+
+constexpr size_t kElem = 256;
+constexpr int64_t kStripes = 4;
+
+std::vector<uint8_t> random_blob(Pcg32& rng, size_t n) {
+  std::vector<uint8_t> v(n);
+  rng.fill_bytes(v.data(), n);
+  return v;
+}
+
+uint64_t element_device_offset(int64_t stripe, int row, int rows) {
+  return (static_cast<uint64_t>(stripe) * static_cast<uint64_t>(rows) +
+          static_cast<uint64_t>(row)) *
+         kElem;
+}
+
+std::string fresh_dir(const char* tag) {
+  std::string tmpl = ::testing::TempDir() + "dcode_integrity_" + tag +
+                     "_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  EXPECT_NE(mkdtemp(buf.data()), nullptr);
+  return std::string(buf.data());
+}
+
+// --- the checksum kernel ---------------------------------------------------
+
+TEST(Checksum, MatchesPublishedXxh64Vectors) {
+  // Reference vectors from the published xxHash spec: the sidecar format
+  // promises stock-tool auditability, so these are pinned, not golden.
+  EXPECT_EQ(xorops::checksum64("", 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xorops::checksum64("abc", 3), 0x44BC2CF5AD770999ULL);
+  // Seed changes the value (the sidecar seeds slots by element index).
+  EXPECT_NE(xorops::checksum64("abc", 3, 1), xorops::checksum64("abc", 3));
+}
+
+TEST(Checksum, EveryIsaBackendBitIdenticalToScalar) {
+  Pcg32 rng(7);
+  // Lengths cover: empty, sub-tail, every block-loop remainder class
+  // around the 32-byte accumulate, and a large buffer.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{31}, size_t{32},
+                     size_t{33}, size_t{63}, size_t{64}, size_t{65},
+                     size_t{255}, size_t{256}, size_t{4096}, size_t{4099}}) {
+    std::vector<uint8_t> data = random_blob(rng, len);
+    const uint64_t want =
+        xorops::checksum64_isa(xorops::Isa::kScalar, data.data(), len, 42);
+    for (xorops::Isa isa : xorops::supported_isas()) {
+      EXPECT_EQ(xorops::checksum64_isa(isa, data.data(), len, 42), want)
+          << "isa " << xorops::isa_name(isa) << " len " << len;
+    }
+    EXPECT_EQ(xorops::checksum64(data.data(), len, 42), want) << len;
+  }
+}
+
+// --- write-identity tags ---------------------------------------------------
+
+TEST(IdentityTag, PacksAndUnpacksEveryField) {
+  const uint64_t tag = make_tag(/*generation=*/3, /*stripe=*/0xABCDE,
+                                /*row=*/0x5F, /*role=*/2);
+  EXPECT_EQ(tag_generation(tag), 3u);
+  EXPECT_EQ(tag_stripe(tag), 0xABCDE);
+  EXPECT_EQ(tag_row(tag), 0x5F);
+  EXPECT_EQ(tag_role(tag), 2);
+  // Generation starts at 1, so a zero tag always means "untracked".
+  EXPECT_NE(make_tag(1, 0, 0, 0), 0u);
+}
+
+// --- ChecksumStore classification ------------------------------------------
+
+TEST(ChecksumStore, ClassifiesEveryVerdict) {
+  ChecksumStore store(8);
+  const uint64_t a1 = 111, a2 = 222, b1 = 333;
+
+  EXPECT_EQ(store.classify(0, a1), IntegrityVerdict::kUntracked);
+
+  store.record(0, a1, /*stripe=*/0, /*row=*/0, /*role=*/0);
+  store.record(1, b1, /*stripe=*/0, /*row=*/1, /*role=*/0);
+  EXPECT_EQ(store.classify(0, a1), IntegrityVerdict::kOk);
+
+  store.record(0, a2, 0, 0, 0);  // second write: a1 becomes prev
+  EXPECT_EQ(store.classify(0, a2), IntegrityVerdict::kOk);
+  EXPECT_EQ(store.classify(0, a1), IntegrityVerdict::kStale);
+  EXPECT_EQ(store.classify(0, b1), IntegrityVerdict::kMisdirected);
+  EXPECT_EQ(store.classify(0, 999), IntegrityVerdict::kCorrupt);
+
+  const ChecksumStore::Snapshot s = store.load(0);
+  EXPECT_EQ(s.sum, a2);
+  EXPECT_EQ(s.prev, a1);
+  EXPECT_EQ(tag_generation(s.tag), 2u);
+}
+
+TEST(ChecksumStore, ResyncClearsStaleHistory) {
+  ChecksumStore store(4);
+  store.record(2, 10, 1, 2, 0);
+  store.record(2, 20, 1, 2, 0);
+  EXPECT_EQ(store.classify(2, 10), IntegrityVerdict::kStale);
+  // Reconstruction re-derives the record; the previous payload is
+  // unknowable, so stale detection restarts instead of false-positiving.
+  store.resync(2, 20, 1, 2, 0);
+  EXPECT_EQ(store.classify(2, 10), IntegrityVerdict::kCorrupt);
+  EXPECT_EQ(store.classify(2, 20), IntegrityVerdict::kOk);
+  EXPECT_EQ(store.load(2).prev, 0u);
+
+  store.invalidate_all();
+  EXPECT_EQ(store.classify(2, 20), IntegrityVerdict::kUntracked);
+}
+
+// --- sidecar persistence ---------------------------------------------------
+
+TEST(ChecksumStoreSidecar, SurvivesReopenBitIdentical) {
+  const std::string dir = fresh_dir("reopen");
+  const std::string path = dir + "/disk0.sum";
+  {
+    ChecksumStore store(16);
+    store.attach_file(path);
+    EXPECT_TRUE(store.persistent());
+    store.record(3, 0xAAA, 0, 3, 0);
+    store.record(3, 0xBBB, 0, 3, 0);
+    store.record(7, 0xCCC, 1, 1, 1);
+    store.flush();
+  }
+  ChecksumStore reopened(16);
+  reopened.attach_file(path);
+  EXPECT_EQ(reopened.load(3).sum, 0xBBBULL);
+  EXPECT_EQ(reopened.load(3).prev, 0xAAAULL);
+  EXPECT_EQ(tag_generation(reopened.load(3).tag), 2u);
+  EXPECT_EQ(reopened.load(7).sum, 0xCCCULL);
+  EXPECT_EQ(tag_role(reopened.load(7).tag), 1);
+  EXPECT_FALSE(reopened.load(0).tracked());
+}
+
+TEST(ChecksumStoreSidecar, TornSlotFallsBackToOtherSlot) {
+  const std::string dir = fresh_dir("torn");
+  const std::string path = dir + "/disk0.sum";
+  {
+    ChecksumStore store(4);
+    store.attach_file(path);
+    store.record(1, 0x11, 0, 1, 0);  // state A
+    store.record(1, 0x22, 0, 1, 0);  // state B (other slot)
+    store.flush();
+  }
+  // Tear one slot: whatever state it held, the loader must fall back to
+  // the other slot's valid record — never garbage, never untracked.
+  for (int torn = 0; torn < 2; ++torn) {
+    std::string copy = dir + "/torn" + std::to_string(torn) + ".sum";
+    {
+      std::vector<uint8_t> raw;
+      int fd = open(path.c_str(), O_RDONLY);
+      ASSERT_GE(fd, 0);
+      const off_t len = lseek(fd, 0, SEEK_END);
+      raw.resize(static_cast<size_t>(len));
+      ASSERT_TRUE(detail::pread_fully(fd, raw.data(), raw.size(), 0));
+      close(fd);
+      // Scribble over half the slot — a torn sidecar write.
+      const int64_t at = ChecksumStore::slot_offset(1, torn);
+      for (size_t i = 0; i < ChecksumStore::kSlotBytes / 2; ++i) {
+        raw[static_cast<size_t>(at) + i] ^= 0x5A;
+      }
+      fd = open(copy.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      ASSERT_GE(fd, 0);
+      ASSERT_TRUE(detail::pwrite_fully(fd, raw.data(), raw.size(), 0));
+      close(fd);
+    }
+    ChecksumStore reopened(4);
+    reopened.attach_file(copy);
+    const ChecksumStore::Snapshot s = reopened.load(1);
+    EXPECT_TRUE(s.tracked()) << "torn slot " << torn;
+    EXPECT_TRUE(s.sum == 0x11 || s.sum == 0x22) << "torn slot " << torn;
+  }
+  // Both slots torn: the element degrades to untracked, never garbage.
+  {
+    std::vector<uint8_t> raw;
+    int fd = open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    for (int slot = 0; slot < 2; ++slot) {
+      std::vector<uint8_t> junk(ChecksumStore::kSlotBytes, 0x7E);
+      ASSERT_TRUE(detail::pwrite_fully(fd, junk.data(), junk.size(),
+                                       ChecksumStore::slot_offset(1, slot)));
+    }
+    close(fd);
+    ChecksumStore reopened(4);
+    reopened.attach_file(path);
+    EXPECT_FALSE(reopened.load(1).tracked());
+    EXPECT_TRUE(reopened.load(1).sum == 0);
+  }
+}
+
+TEST(ChecksumStoreSidecar, PreadPwriteFullyHandleShortCounts) {
+  const std::string dir = fresh_dir("shortio");
+  const std::string path = dir + "/f";
+  int fd = open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  std::vector<uint8_t> data(10, 0xAB);
+  EXPECT_TRUE(detail::pwrite_fully(fd, data.data(), data.size(), 0));
+  std::vector<uint8_t> back(10, 0);
+  EXPECT_TRUE(detail::pread_fully(fd, back.data(), back.size(), 0));
+  EXPECT_EQ(back, data);
+  // EOF before n bytes: must report failure, not return short.
+  std::vector<uint8_t> big(20);
+  EXPECT_FALSE(detail::pread_fully(fd, big.data(), big.size(), 0));
+  EXPECT_FALSE(detail::pread_fully(fd, back.data(), back.size(), 5));
+  // Bad fd: clean failure on both paths.
+  close(fd);
+  EXPECT_FALSE(detail::pwrite_fully(fd, data.data(), data.size(), 0));
+  EXPECT_FALSE(detail::pread_fully(fd, back.data(), back.size(), 0));
+}
+
+TEST(ChecksumStoreSidecar, ArraySidecarRecordsDeviceContent) {
+  const std::string dir = fresh_dir("array");
+  ArrayOptions opts;
+  opts.integrity_sidecar_dir = dir;
+  auto layout = codes::make_layout("dcode", 5);
+  const int rows = layout->rows();
+  Raid6Array array(std::move(layout), kElem, kStripes, 2, nullptr, opts);
+  Pcg32 rng(31);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, blob);
+  array.flush();
+
+  // The persisted record for (disk 2, stripe 1, row 0) must hash exactly
+  // the bytes the device holds there.
+  std::vector<uint8_t> elem(kElem);
+  array.disk(2).read(element_device_offset(1, 0, rows), elem);
+  const uint64_t want = xorops::checksum64(elem.data(), elem.size());
+
+  ChecksumStore reopened(kStripes * rows);
+  reopened.attach_file(dir + "/disk2.sum");
+  const auto snap = reopened.load(1 * rows + 0);
+  EXPECT_EQ(snap.sum, want);
+  EXPECT_EQ(tag_stripe(snap.tag), 1);
+  EXPECT_EQ(tag_row(snap.tag), 0);
+}
+
+// --- wrong-path write fault models -----------------------------------------
+
+TEST(WrongPathWrites, LostTornMisdirectedSemantics) {
+  FaultInjectingDevice dev(std::make_unique<MemDisk>(0, 4096));
+  std::vector<uint8_t> zero(4096, 0);
+  ASSERT_TRUE(dev.write(0, zero).ok());
+
+  std::vector<uint8_t> payload(256, 0xCD);
+  std::vector<uint8_t> back(256);
+
+  // Lost: acknowledged in full, nothing lands.
+  dev.inject_lost_writes(1);
+  EXPECT_EQ(dev.pending_wrong_path_writes(), 1);
+  IoResult r = dev.write(512, payload);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.bytes, payload.size());
+  EXPECT_EQ(dev.pending_wrong_path_writes(), 0);
+  ASSERT_TRUE(dev.read(512, back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(256, 0));
+
+  // Torn: acknowledged in full, only the prefix persists.
+  dev.inject_torn_writes(1, 10);
+  ASSERT_TRUE(dev.write(512, payload).ok());
+  ASSERT_TRUE(dev.read(512, back).ok());
+  EXPECT_EQ(std::vector<uint8_t>(back.begin(), back.begin() + 10),
+            std::vector<uint8_t>(10, 0xCD));
+  EXPECT_EQ(std::vector<uint8_t>(back.begin() + 10, back.end()),
+            std::vector<uint8_t>(246, 0));
+
+  // Misdirected: acknowledged in full, lands offset_delta away.
+  dev.inject_misdirected_writes(1, 1024);
+  ASSERT_TRUE(dev.write(0, payload).ok());
+  ASSERT_TRUE(dev.read(0, back).ok());
+  EXPECT_EQ(back, std::vector<uint8_t>(256, 0)) << "target untouched";
+  ASSERT_TRUE(dev.read(1024, back).ok());
+  EXPECT_EQ(back, payload) << "payload landed at the slipped offset";
+
+  // Disarm clears every family; the next write lands normally.
+  dev.inject_lost_writes(2);
+  dev.inject_torn_writes(2, 1);
+  dev.inject_misdirected_writes(2, 512);
+  EXPECT_EQ(dev.pending_wrong_path_writes(), 6);
+  dev.clear_wrong_path_writes();
+  EXPECT_EQ(dev.pending_wrong_path_writes(), 0);
+  ASSERT_TRUE(dev.write(2048, payload).ok());
+  ASSERT_TRUE(dev.read(2048, back).ok());
+  EXPECT_EQ(back, payload);
+}
+
+// --- verify-on-read: correct data from parity ------------------------------
+
+// One array + shadow; arms one wrong-path family on one disk, rewrites
+// stripe 0 through the array (the armed disk's coalesced run goes wrong
+// while being acknowledged), then proves reads still return the intended
+// bytes, the expected verdict kind was counted, and repair scrub
+// converges. `expected_kind` may be empty when the verdict depends on
+// where the payload lands (misdirected writes clobber parity rows too).
+void run_wrong_path_family(
+    const std::function<void(FaultInjectingDevice&)>& arm,
+    const std::string& expected_kind) {
+  obs::Registry reg;
+  auto layout = codes::make_layout("dcode", 5);
+  Raid6Array array(std::move(layout), kElem, kStripes, 2, &reg);
+  Pcg32 rng(61);
+  auto shadow = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, shadow);
+  ASSERT_EQ(array.scrub(), 0);
+
+  const int victim = 2;
+  arm(array.disk(victim).faults());
+  // Full-stripe rewrite of stripe 0: every disk takes one coalesced run;
+  // the victim's run is acknowledged but wrong.
+  const size_t stripe_bytes =
+      static_cast<size_t>(array.capacity() / kStripes);
+  auto fresh = random_blob(rng, stripe_bytes);
+  array.write(0, fresh);
+  std::memcpy(shadow.data(), fresh.data(), fresh.size());
+  ASSERT_EQ(array.disk(victim).faults().pending_wrong_path_writes(), 0)
+      << "the armed fault must have been consumed";
+
+  // Reads detect the lie through the checksum channel and serve the
+  // correct bytes from parity.
+  std::vector<uint8_t> out(shadow.size());
+  array.read(0, out);
+  EXPECT_EQ(out, shadow);
+  EXPECT_GT(reg.counter("raid.integrity.read_fallbacks").value(), 0);
+  EXPECT_GT(reg.counter("raid.integrity.elements_verified").value(), 0);
+  if (!expected_kind.empty()) {
+    EXPECT_GT(reg.counter("raid.integrity.read_mismatches",
+                          {{"kind", expected_kind}})
+                  .value(),
+              0)
+        << expected_kind;
+  }
+
+  // Repair scrub makes the damage durable-good again.
+  ScrubReport rep = array.scrub_report({.repair = true});
+  EXPECT_EQ(rep.stripes_unrepairable, 0);
+  EXPECT_GT(rep.checksum_mismatches, 0);
+  EXPECT_GT(rep.elements_checksum_located, 0);
+  EXPECT_EQ(array.scrub(), 0);
+  std::vector<uint8_t> after(shadow.size());
+  array.read(0, after);
+  EXPECT_EQ(after, shadow);
+}
+
+TEST(VerifyOnRead, LostWriteServedFromParityAndRepaired) {
+  // A lost write leaves the platter serving the element's previous
+  // payload — the stale verdict by construction.
+  run_wrong_path_family(
+      [](FaultInjectingDevice& f) { f.inject_lost_writes(1); }, "stale");
+}
+
+TEST(VerifyOnRead, TornWriteServedFromParityAndRepaired) {
+  // A torn run persists a 7-byte prefix: the first element of the run
+  // hashes to nothing known (corrupt), the rest reads stale. Which one a
+  // data read condemns first depends on the rotation layout, so only the
+  // aggregate is asserted (the per-verdict mapping is pinned by the
+  // ChecksumStore unit tests).
+  run_wrong_path_family(
+      [](FaultInjectingDevice& f) { f.inject_torn_writes(1, 7); }, "");
+}
+
+TEST(VerifyOnRead, MisdirectedWriteServedFromParityAndRepaired) {
+  // A whole-stripe LBA slip (dcode p5 has 4 rows): the victim's stripe-0
+  // run lands in stripe-1 territory, so the intended elements read stale
+  // and the clobbered elements hold foreign content. A same-stripe slip
+  // would be condemned already at the RMW parity pre-read and salvaged
+  // inside write() — the stripe-crossing slip is the shape that survives
+  // to be caught by verify-on-read. Which kind a data read observes
+  // first depends on the rotation layout, so only the aggregate is
+  // asserted.
+  run_wrong_path_family(
+      [](FaultInjectingDevice& f) {
+        f.inject_misdirected_writes(1, static_cast<uint64_t>(4 * kElem));
+      },
+      "");
+}
+
+TEST(VerifyOnRead, SameStripeMisdirectSalvagedAtWriteTime) {
+  // A one-element slip clobbers the victim's own parity row, so the RMW
+  // parity pre-read condemns the column mid-update — new data on the
+  // healthy columns, pre-update parity everywhere — and the in-place
+  // repair cannot converge. write() must escalate to the salvage
+  // rewrite: the write succeeds and leaves the stripe clean without any
+  // later scrub.
+  obs::Registry reg;
+  auto layout = codes::make_layout("dcode", 5);
+  Raid6Array array(std::move(layout), kElem, kStripes, 2, &reg);
+  Pcg32 rng(62);
+  auto shadow = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, shadow);
+  ASSERT_EQ(array.scrub(), 0);
+
+  const int victim = 2;
+  array.disk(victim).faults().inject_misdirected_writes(
+      1, static_cast<uint64_t>(kElem));
+  const size_t stripe_bytes = static_cast<size_t>(array.capacity() / kStripes);
+  auto fresh = random_blob(rng, stripe_bytes);
+  array.write(0, fresh);
+  std::memcpy(shadow.data(), fresh.data(), fresh.size());
+
+  EXPECT_GT(reg.counter("raid.integrity.write_repairs").value(), 0);
+  EXPECT_EQ(array.scrub(), 0);
+  std::vector<uint8_t> out(shadow.size());
+  array.read(0, out);
+  EXPECT_EQ(out, shadow);
+}
+
+// --- checksum-assisted scrub: beyond the parity-only contracts -------------
+
+// The regression the tentpole exists for: two corrupt elements in one
+// stripe make the parity families disagree, so parity-only repair must
+// refuse (scrub_repair_test pins that) — and the checksum channel then
+// localizes both and repairs byte-identically.
+TEST(ChecksumScrub, RepairsFamilyDisagreementParityOnlyRefuses) {
+  auto lay = codes::make_layout("dcode", 7);
+  const int rows = lay->rows();
+  obs::Registry reg;
+  Raid6Array array(std::move(lay), kElem, kStripes, 2, &reg);
+  Pcg32 rng(25);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, blob);
+
+  for (const auto& [disk, row, nbytes] :
+       {std::tuple{0, 0, kElem / 4}, std::tuple{2, 1, kElem / 2}}) {
+    std::vector<uint8_t> buf(nbytes);
+    array.disk(disk).read(element_device_offset(1, row, rows), buf);
+    for (auto& b : buf) b ^= 0xA5;
+    array.disk(disk).write(element_device_offset(1, row, rows), buf);
+  }
+
+  // Parity-only: detected, unrepairable, correctly attributed.
+  ScrubReport parity_only =
+      array.scrub_report({.repair = true, .use_checksums = false});
+  EXPECT_EQ(parity_only.inconsistent_stripes, std::vector<int64_t>({1}));
+  EXPECT_EQ(parity_only.stripes_unrepairable, 1);
+  EXPECT_EQ(parity_only.stripes_family_disagreement, 1);
+  EXPECT_EQ(parity_only.elements_repaired, 0);
+
+  // Checksum-assisted: both elements condemned by their sidecar records,
+  // reconstructed from surviving equations, re-verified, byte-identical.
+  ScrubReport assisted = array.scrub_report({.repair = true});
+  EXPECT_EQ(assisted.inconsistent_stripes, std::vector<int64_t>({1}));
+  EXPECT_EQ(assisted.stripes_unrepairable, 0);
+  EXPECT_EQ(assisted.checksum_mismatches, 2);
+  EXPECT_EQ(assisted.elements_checksum_located, 2);
+  EXPECT_EQ(assisted.elements_repaired, 2);
+  EXPECT_EQ(array.scrub(), 0);
+  EXPECT_GT(reg.counter("raid.scrub.checksum_located").value(), 0);
+
+  std::vector<uint8_t> out(static_cast<size_t>(array.capacity()));
+  array.read(0, out);
+  EXPECT_EQ(out, blob);
+}
+
+// The checksum channel localizes through a degraded stripe, where the
+// parity-only membership comparison is unsound (dead-disk equations).
+TEST(ChecksumScrub, LocalizesThroughDegradedStripe) {
+  auto lay = codes::make_layout("dcode", 7);
+  const int rows = lay->rows();
+  Raid6Array array(std::move(lay), kElem, kStripes, 2);
+  Pcg32 rng(24);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, blob);
+
+  std::vector<uint8_t> buf(16);
+  array.disk(1).read(element_device_offset(0, 0, rows), buf);
+  for (auto& b : buf) b ^= 0xA5;
+  array.disk(1).write(element_device_offset(0, 0, rows), buf);
+  array.fail_disk(5);  // no spares: stays degraded
+
+  ScrubReport rep = array.scrub_report({.repair = true});
+  EXPECT_EQ(rep.stripes_unrepairable, 0);
+  EXPECT_GT(rep.elements_checksum_located, 0);
+  EXPECT_EQ(array.scrub(), 0);
+}
+
+// A whole-stripe lost write — every element rolled back together — is
+// parity-consistent and unrecoverable from redundancy; the identity tags
+// are the only witness. Reported as stale, never counted inconsistent;
+// repair mode resyncs the sidecar so reads stop condemning bytes nothing
+// can improve.
+TEST(ChecksumScrub, WholeStripeStaleReportedNotRepaired) {
+  obs::Registry reg;
+  auto layout = codes::make_layout("dcode", 5);
+  const int rows = layout->rows();
+  const int disks = layout->cols();
+  Raid6Array array(std::move(layout), kElem, kStripes, 2, &reg);
+  Pcg32 rng(77);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, blob);
+  ASSERT_EQ(array.scrub(), 0);
+
+  // Snapshot stripe 2 on every device, rewrite it through the array,
+  // then roll every device back — the classic array-wide lost write.
+  const int64_t stripe = 2;
+  const uint64_t dev_off = element_device_offset(stripe, 0, rows);
+  const size_t dev_len = static_cast<size_t>(rows) * kElem;
+  std::vector<std::vector<uint8_t>> before(static_cast<size_t>(disks));
+  for (int d = 0; d < disks; ++d) {
+    before[static_cast<size_t>(d)].resize(dev_len);
+    array.disk(d).read(dev_off, before[static_cast<size_t>(d)]);
+  }
+  const int64_t stripe_bytes = array.capacity() / kStripes;
+  auto fresh = random_blob(rng, static_cast<size_t>(stripe_bytes));
+  array.write(stripe * stripe_bytes, fresh);
+  for (int d = 0; d < disks; ++d) {
+    array.disk(d).write(dev_off, before[static_cast<size_t>(d)]);
+  }
+
+  // Detect: parity consistent, stale, NOT inconsistent.
+  ScrubReport detect = array.scrub_report();
+  EXPECT_TRUE(detect.inconsistent_stripes.empty());
+  EXPECT_EQ(detect.stale_stripes, std::vector<int64_t>({stripe}));
+  EXPECT_GT(detect.elements_stale, 0);
+  EXPECT_EQ(detect.stripes_unrepairable, 0);
+
+  // Repair: content is unimprovable; the sidecar is resynced so the
+  // stripe reads cleanly again (serving the rolled-back bytes).
+  ScrubReport repair = array.scrub_report({.repair = true});
+  EXPECT_EQ(repair.stale_stripes, std::vector<int64_t>({stripe}));
+  EXPECT_EQ(array.scrub(), 0);
+  EXPECT_GT(reg.counter("raid.scrub.stripes_stale").value(), 0);
+  ScrubReport after = array.scrub_report();
+  EXPECT_TRUE(after.stale_stripes.empty());
+
+  std::vector<uint8_t> out(static_cast<size_t>(stripe_bytes));
+  array.read(stripe * stripe_bytes, out);  // must not throw post-resync
+  EXPECT_EQ(out, std::vector<uint8_t>(
+                     blob.begin() + stripe * stripe_bytes,
+                     blob.begin() + (stripe + 1) * stripe_bytes));
+}
+
+// --- crash consistency: sidecar vs journal ---------------------------------
+
+// A crash between element writes leaves sidecar records ahead of (or
+// behind) the platter. Journal replay reads raw, re-encodes parity, and
+// resyncs every live element's record — so verified reads work again
+// without a single false condemnation surviving recovery.
+TEST(ChecksumScrub, JournalRecoveryResyncsSidecarAfterCrash) {
+  obs::Registry reg;
+  auto layout = codes::make_layout("dcode", 5);
+  Raid6Array array(std::move(layout), kElem, kStripes, 2, &reg);
+  array.enable_journal(16);
+  Pcg32 rng(91);
+  auto blob = random_blob(rng, static_cast<size_t>(array.capacity()));
+  array.write(0, blob);
+  ASSERT_EQ(array.scrub(), 0);
+
+  const int64_t stripe_bytes = array.capacity() / kStripes;
+  auto fresh = random_blob(rng, static_cast<size_t>(2 * stripe_bytes));
+  array.inject_power_loss_after(3);  // dies mid-update
+  EXPECT_THROW(array.write(stripe_bytes, fresh), PowerLossError);
+
+  array.restart();
+  ASSERT_FALSE(array.journal_open_stripes().empty());
+  array.journal_recover();
+  EXPECT_TRUE(array.journal_open_stripes().empty());
+
+  // Replay made stripes parity-consistent AND resynced their sidecar
+  // records: repair scrub has nothing unrepairable, and a verified read
+  // of the whole array does not throw.
+  ScrubReport rep = array.scrub_report({.repair = true});
+  EXPECT_EQ(rep.stripes_unrepairable, 0);
+  EXPECT_EQ(array.scrub(), 0);
+  std::vector<uint8_t> out(static_cast<size_t>(array.capacity()));
+  EXPECT_NO_THROW(array.read(0, out));
+}
+
+}  // namespace
+}  // namespace dcode::raid

@@ -130,13 +130,18 @@ TEST(ScrubDegraded, RepairOnDegradedStripeIsUnrepairable) {
 
   flip_element_bytes(array, 1, /*stripe=*/0, 0, rows, 16);
   array.fail_disk(5);
-  ScrubReport report = array.scrub_report({.repair = true});
-  // With equations skipped, membership comparison is unsound — report,
-  // don't guess.
+  // Parity-only contract (use_checksums=false): with equations skipped,
+  // membership comparison is unsound — report, don't guess. (The
+  // checksum channel CAN localize through a degraded stripe; that
+  // stronger contract is integrity_test's to prove.)
+  ScrubReport report =
+      array.scrub_report({.repair = true, .use_checksums = false});
   if (!report.inconsistent_stripes.empty()) {
     EXPECT_EQ(report.elements_repaired, 0);
     EXPECT_EQ(report.stripes_unrepairable,
               static_cast<int64_t>(report.inconsistent_stripes.size()));
+    EXPECT_EQ(report.stripes_skipped_degraded, report.stripes_unrepairable);
+    EXPECT_EQ(report.stripes_family_disagreement, 0);
   }
 }
 
@@ -150,10 +155,17 @@ TEST(ScrubRepairLimits, TwoCorruptElementsInOneStripeAreUnrepairable) {
 
   flip_element_bytes(array, 0, /*stripe=*/1, 0, rows, 16);
   flip_element_bytes(array, 2, /*stripe=*/1, 1, rows, 32);
-  ScrubReport report = array.scrub_report({.repair = true});
+  // Parity-only contract (use_checksums=false): two damaged elements
+  // make the parity families disagree on membership, so syndrome
+  // localization must refuse. (integrity_test proves the checksum
+  // channel repairs this same shape.)
+  ScrubReport report =
+      array.scrub_report({.repair = true, .use_checksums = false});
   EXPECT_EQ(report.inconsistent_stripes, std::vector<int64_t>({1}));
   EXPECT_EQ(report.elements_repaired, 0);
   EXPECT_EQ(report.stripes_unrepairable, 1);
+  EXPECT_EQ(report.stripes_family_disagreement, 1);
+  EXPECT_EQ(report.stripes_skipped_degraded, 0);
   // Nothing was written: the stripe stays flagged rather than being
   // "repaired" into silent garbage. (Recovery needs a backup rewrite
   // plus re-encode — parity-delta RMW writes would carry the damage.)
